@@ -1,0 +1,236 @@
+(* Benchmark harness.
+
+   Part 1 — experiment regeneration: reruns the paper's evaluation
+   artefacts in a bounded form suitable for a default `dune exec
+   bench/main.exe`: every figure (1–5, with the Fig. 5 assertion F = 4)
+   and a Table 1 slice over the quick benchmarks, printing the same
+   row structure as the paper.  The complete 25-row table with generous
+   budgets is `bin/table1.exe` (see EXPERIMENTS.md for its output).
+
+   Part 2 — Bechamel micro-benchmarks, one Test.make per reproduced
+   artefact plus the ablations called out in DESIGN.md:
+     table1/*    an exact strategy mapping and the heuristic baseline
+     fig5/*      the running example end to end
+     ablation/*  AMO encodings (Eq. 1) and optimizer search strategies
+     substrate/* SAT solver, swaps(π) table, unitary simulation *)
+
+open Bechamel
+open Toolkit
+module Mapper = Qxm_exact.Mapper
+module Strategy = Qxm_exact.Strategy
+module Suite = Qxm_benchmarks.Suite
+module Examples = Qxm_benchmarks.Examples
+module Circuit = Qxm_circuit.Circuit
+module Unitary = Qxm_circuit.Unitary
+module Devices = Qxm_arch.Devices
+module Stochastic = Qxm_heuristic.Stochastic_swap
+module Solver = Qxm_sat.Solver
+module Lit = Qxm_sat.Lit
+module Cnf = Qxm_encode.Cnf
+module Amo = Qxm_encode.Amo
+module Minimize = Qxm_opt.Minimize
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regeneration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let regenerate_figures () =
+  print_endline "== figures (see also bin/figures.exe) ==";
+  (* Fig. 5 / Ex. 7: the minimal mapping of Fig. 1a on QX4 costs 4. *)
+  (match Mapper.run ~arch:Devices.qx4 Examples.fig1a with
+  | Ok r ->
+      assert (r.f_cost = 4);
+      assert (r.verified = Some true);
+      Printf.printf
+        "fig5: minimal mapping of Fig. 1a onto QX4: F = %d, verified \
+         (paper: F = 4)\n"
+        r.f_cost
+  | Error e -> Format.printf "fig5 FAILED: %a@." Mapper.pp_failure e);
+  (* Ex. 9: subset pruning counts *)
+  Printf.printf "fig4/ex9: 4-subsets of QX4: %d total, %d connected \
+                 (paper: 5 and 4)\n"
+    (Qxm_arch.Subsets.count_all Devices.qx4 4)
+    (Qxm_arch.Subsets.count_connected Devices.qx4 4);
+  print_newline ()
+
+let regenerate_table1_slice () =
+  print_endline
+    "== Table 1 (quick slice: benchmarks with <= 14 CNOTs, 30 s budget; \
+     full table: bin/table1.exe) ==";
+  Printf.printf "%-14s %2s %9s | %9s | %9s %9s %9s | %9s\n" "benchmark" "n"
+    "orig" "min" "disjoint" "odd" "triangle" "ibm-style";
+  List.iter
+    (fun (e : Suite.entry) ->
+      let run strategy =
+        let options =
+          { Mapper.default with strategy; timeout = Some 30.0 }
+        in
+        match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
+        | Ok r ->
+            assert (r.verified = Some true);
+            Printf.sprintf "%4d%s" r.total_gates
+              (if r.optimal then "    " else " ~  ")
+        | Error _ -> "  t/o    "
+      in
+      let heur = Stochastic.run_best ~times:5 ~arch:Devices.qx4 e.circuit in
+      Printf.printf "%-14s %2d %4d+%-4d | %9s | %9s %9s %9s | %4d\n" e.name
+        e.paper.n
+        (Circuit.count_singles e.circuit)
+        (Circuit.count_cnots e.circuit)
+        (run Strategy.Minimal)
+        (run Strategy.Disjoint_qubits)
+        (run Strategy.Odd_gates)
+        (run Strategy.Qubit_triangle)
+        heur.total_gates)
+    (List.filter (fun (e : Suite.entry) -> e.paper.cnots <= 14) (Suite.all ()));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: micro-benchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exact_map ?(strategy = Strategy.Minimal) circuit () =
+  let options = { Mapper.default with strategy; verify = false } in
+  match Mapper.run ~options ~arch:Devices.qx4 circuit with
+  | Ok r -> ignore r.f_cost
+  | Error _ -> ()
+
+let bench_exact name strategy =
+  let entry = Option.get (Suite.by_name name) in
+  Test.make ~name:(Printf.sprintf "exact-%s-%s" name (Strategy.name strategy))
+    (Staged.stage (exact_map ~strategy entry.circuit))
+
+let bench_heuristic =
+  let entry = Option.get (Suite.by_name "ham3_102") in
+  Test.make ~name:"heuristic-ham3_102"
+    (Staged.stage (fun () ->
+         ignore
+           (Stochastic.run ~verify:false ~arch:Devices.qx4 entry.circuit)))
+
+let bench_fig5 =
+  Test.make ~name:"exact-fig1a-minimal"
+    (Staged.stage (exact_map Examples.fig1a))
+
+(* Ablation: the Eq. (1) AMO encoding choice, measured on a full mapping
+   of the same circuit. *)
+let bench_amo encoding name =
+  let entry = Option.get (Suite.by_name "ex-1_166") in
+  Test.make ~name:("amo-" ^ name)
+    (Staged.stage (fun () ->
+         let options =
+           { Mapper.default with amo = encoding; verify = false }
+         in
+         ignore (Mapper.run ~options ~arch:Devices.qx4 entry.circuit)))
+
+(* Ablation: optimizer search strategy. *)
+let bench_search strategy name =
+  let entry = Option.get (Suite.by_name "ex-1_166") in
+  Test.make ~name:("search-" ^ name)
+    (Staged.stage (fun () ->
+         let options =
+           { Mapper.default with opt_strategy = strategy; verify = false }
+         in
+         ignore (Mapper.run ~options ~arch:Devices.qx4 entry.circuit)))
+
+let bench_sat_php =
+  Test.make ~name:"sat-pigeonhole-5"
+    (Staged.stage (fun () ->
+         let n = 5 in
+         let s = Solver.create () in
+         let v p h = Lit.pos ((p * n) + h) in
+         for _ = 1 to (n + 1) * n do
+           ignore (Solver.new_var s)
+         done;
+         for p = 0 to n do
+           Solver.add_clause s (List.init n (fun h -> v p h))
+         done;
+         for h = 0 to n - 1 do
+           for p1 = 0 to n do
+             for p2 = p1 + 1 to n do
+               Solver.add_clause s
+                 [ Lit.negate (v p1 h); Lit.negate (v p2 h) ]
+             done
+           done
+         done;
+         assert (Solver.solve s = Solver.Unsat)))
+
+let bench_swap_table =
+  Test.make ~name:"swaps-table-qx4"
+    (Staged.stage (fun () ->
+         ignore (Qxm_arch.Swap_count.compute Devices.qx4)))
+
+let bench_unitary =
+  Test.make ~name:"unitary-fig1a"
+    (Staged.stage (fun () -> ignore (Unitary.unitary Examples.fig1a)))
+
+let bench_sabre =
+  let entry = Option.get (Suite.by_name "4gt11_84") in
+  Test.make ~name:"heuristic-sabre-4gt11_84"
+    (Staged.stage (fun () ->
+         ignore
+           (Qxm_heuristic.Sabre.run ~verify:false ~arch:Devices.qx4
+              entry.circuit)))
+
+let bench_optimize =
+  let qft = Qxm_benchmarks.Algorithms.qft 5 in
+  Test.make ~name:"peephole-qft5"
+    (Staged.stage (fun () -> ignore (Qxm_circuit.Optimize.optimize qft)))
+
+let all_micro =
+  Test.make_grouped ~name:"qxm"
+    [
+      Test.make_grouped ~name:"table1"
+        [
+          bench_exact "ex-1_166" Strategy.Minimal;
+          bench_exact "ex-1_166" Strategy.Qubit_triangle;
+          bench_exact "4gt11_84" Strategy.Odd_gates;
+          bench_heuristic;
+          bench_sabre;
+        ];
+      Test.make_grouped ~name:"fig5" [ bench_fig5 ];
+      Test.make_grouped ~name:"ablation"
+        [
+          bench_amo Amo.Pairwise "pairwise";
+          bench_amo Amo.Sequential "sequential";
+          bench_amo Amo.Commander "commander";
+          bench_search Minimize.Linear_descent "linear";
+          bench_search Minimize.Binary_search "binary";
+        ];
+      Test.make_grouped ~name:"substrate"
+        [ bench_sat_php; bench_swap_table; bench_unitary; bench_optimize ];
+    ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (Bechamel, ns per run) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances all_micro in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> e
+        | _ -> nan
+      in
+      Printf.printf "%-40s %12.0f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare rows)
+
+let () =
+  let micro_only =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "--micro-only"
+  in
+  let skip_micro =
+    Array.length Sys.argv > 1 && Sys.argv.(1) = "--no-micro"
+  in
+  if not micro_only then begin
+    regenerate_figures ();
+    regenerate_table1_slice ()
+  end;
+  if not skip_micro then run_micro ()

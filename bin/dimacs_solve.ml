@@ -1,0 +1,39 @@
+(* Standalone CDCL SAT solver: reads DIMACS CNF, prints SATISFIABLE with a
+   model line or UNSATISFIABLE, exit codes 10/20 in the SAT-competition
+   convention. *)
+
+let () =
+  let path = ref None in
+  let conflict_limit = ref (-1) in
+  let spec =
+    [
+      ( "--conflicts",
+        Arg.Set_int conflict_limit,
+        "<n> conflict budget (default: unlimited)" );
+    ]
+  in
+  Arg.parse spec
+    (fun p -> path := Some p)
+    "dimacs_solve [--conflicts n] <file.cnf>";
+  match !path with
+  | None ->
+      prerr_endline "dimacs_solve: missing input file";
+      exit 2
+  | Some p ->
+      let problem = Qxm_sat.Dimacs.parse_file p in
+      let solver = Qxm_sat.Solver.create () in
+      Qxm_sat.Dimacs.load solver problem;
+      (match
+         Qxm_sat.Solver.solve ~conflict_limit:!conflict_limit solver
+       with
+      | Qxm_sat.Solver.Sat ->
+          print_endline "s SATISFIABLE";
+          Format.printf "%a@." Qxm_sat.Dimacs.pp_model
+            (Qxm_sat.Solver.model solver);
+          exit 10
+      | Qxm_sat.Solver.Unsat ->
+          print_endline "s UNSATISFIABLE";
+          exit 20
+      | Qxm_sat.Solver.Unknown ->
+          print_endline "s UNKNOWN";
+          exit 0)

@@ -1,0 +1,114 @@
+(* Regenerate the paper's figures as ASCII/Graphviz:
+     fig1  – the running-example circuit, with and without 1-qubit gates
+     fig2  – the QX4 coupling map
+     fig3  – SWAP decomposition and its cost (7), H-flip cost (4)
+     fig4  – dimensions of the symbolic formulation for fig1 on QX4
+     fig5  – minimal mapping of fig1 onto QX4 (asserts F = 4, Ex. 7)  *)
+
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Draw = Qxm_circuit.Draw
+module Decompose = Qxm_circuit.Decompose
+module Qasm = Qxm_circuit.Qasm
+module Coupling = Qxm_arch.Coupling
+module Devices = Qxm_arch.Devices
+module Examples = Qxm_benchmarks.Examples
+module Mapper = Qxm_exact.Mapper
+module Strategy = Qxm_exact.Strategy
+
+let fig1 () =
+  print_endline "Fig. 1a — original quantum circuit (q1..q4 = q0..q3):";
+  Draw.print Examples.fig1a;
+  print_endline "\nFig. 1b — without single-qubit gates:";
+  Draw.print Examples.fig1b
+
+let fig2 () =
+  print_endline "Fig. 2 — coupling map of IBM QX4 (0-based; paper uses 1-based):";
+  Format.printf "%a@." Coupling.pp Devices.qx4;
+  print_endline "Graphviz:";
+  print_string (Coupling.to_dot Devices.qx4)
+
+let fig3 () =
+  let allowed c t = (c, t) = (0, 1) in
+  print_endline
+    "Fig. 3 — SWAP on a one-directional edge (only p0 -> p1 couples):";
+  let swap = Circuit.create 2 [ Gate.Swap (0, 1) ] in
+  let dec = Decompose.elementary ~allowed swap in
+  Draw.print dec;
+  Printf.printf "cost of one SWAP: %d elementary operations\n"
+    (Circuit.length dec);
+  print_endline "\ndirection-switched CNOT (logical control on p1):";
+  let cx = Circuit.create 2 [ Gate.Cnot (1, 0) ] in
+  let dec = Decompose.elementary ~allowed cx in
+  Draw.print dec;
+  Printf.printf "added cost: %d H operations\n" (Circuit.length dec - 1)
+
+let fig4 () =
+  let circuit = Examples.fig1b in
+  let g = Circuit.count_cnots circuit in
+  let n = Circuit.num_qubits circuit in
+  let m = Coupling.num_qubits Devices.qx4 in
+  Printf.printf
+    "Fig. 4 — symbolic formulation for mapping Fig. 1a to QX4:\n\
+    \  mapping variables x^k_ij : |G| x m x n = %d x %d x %d = %d\n\
+    \  permutation spots (minimal method): before g2..g%d\n\
+    \  permutations per spot |Pi| = m! = 120\n\
+    \  switch variables z^k : %d\n\
+    \  raw search space (Sec. 4): 2^(n*m*|G|) = 2^%d\n\
+    \  after Sec. 4.1 subsets  : C(m,n)*2^(n^2*|G|) = %d * 2^%d\n"
+    g m n (g * m * n) g g
+    (n * m * g)
+    (Qxm_arch.Subsets.count_all Devices.qx4 n)
+    (n * n * g)
+
+let fig5 () =
+  let arch = Devices.qx4 in
+  let options = { Mapper.default with strategy = Strategy.Minimal } in
+  match Mapper.run ~options ~arch Examples.fig1a with
+  | Error e ->
+      Format.printf "mapping failed: %a@." Mapper.pp_failure e;
+      exit 1
+  | Ok r ->
+      Printf.printf
+        "Fig. 5 — minimal mapping of Fig. 1a onto QX4 (F = %d, Ex. 7):\n"
+        r.f_cost;
+      assert (r.f_cost = 4);
+      assert (r.optimal);
+      assert (r.verified = Some true);
+      let labels =
+        Array.init 5 (fun p ->
+            let logical =
+              Array.to_list r.initial
+              |> List.mapi (fun j ph -> (j, ph))
+              |> List.find_opt (fun (_, ph) -> ph = p)
+            in
+            match logical with
+            | Some (j, _) -> Printf.sprintf "p%d = q%d:" p (j + 1)
+            | None -> Printf.sprintf "p%d     :" p)
+      in
+      Draw.print ~labels r.elementary;
+      Printf.printf "\ntotal gates: %d (original %d, overhead F = %d)\n"
+        r.total_gates
+        (Circuit.length Examples.fig1a)
+        r.f_cost;
+      print_endline "\nOpenQASM of the mapped circuit:";
+      print_string (Qasm.to_string r.elementary)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all = [ ("fig1", fig1); ("fig2", fig2); ("fig3", fig3);
+              ("fig4", fig4); ("fig5", fig5) ] in
+  match which with
+  | "all" ->
+      List.iter
+        (fun (name, f) ->
+          Printf.printf "=== %s ===\n" name;
+          f ();
+          print_newline ())
+        all
+  | name -> (
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "usage: figures [fig1|fig2|fig3|fig4|fig5|all]\n";
+          exit 2)

@@ -1,0 +1,225 @@
+(* qxmap — command-line front end.
+
+   Subcommands:
+     map        exact SAT-based mapping (the paper's method)
+     heuristic  stochastic-swap / A* baselines
+     devices    list known coupling maps
+     stats      show circuit statistics and layering info *)
+
+open Cmdliner
+module Circuit = Qxm_circuit.Circuit
+module Qasm = Qxm_circuit.Qasm
+module Draw = Qxm_circuit.Draw
+module Layers = Qxm_circuit.Layers
+module Coupling = Qxm_arch.Coupling
+module Devices = Qxm_arch.Devices
+module Mapper = Qxm_exact.Mapper
+module Strategy = Qxm_exact.Strategy
+
+let device_conv =
+  let parse s =
+    match Devices.by_name s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown device %S (try: %s)" s
+                (String.concat ", " Devices.names)))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<device>")
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Strategy.pp fmt s)
+
+let input_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT.qasm" ~doc:"OpenQASM 2.0 input circuit.")
+
+let device_arg =
+  Arg.(
+    value
+    & opt device_conv Devices.qx4
+    & info [ "d"; "device" ] ~docv:"DEVICE"
+        ~doc:"Target architecture (qx2, qx4, qx5, tokyo, line<k>, …).")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT.qasm"
+        ~doc:"Write the mapped circuit as OpenQASM (default: stdout).")
+
+let draw_arg =
+  Arg.(value & flag & info [ "draw" ] ~doc:"Also print an ASCII diagram.")
+
+let load path =
+  try Qasm.parse_file path
+  with Qasm.Parse_error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    exit 2
+
+let emit output circuit =
+  match output with
+  | None -> print_string (Qasm.to_string circuit)
+  | Some path -> Qasm.write_file path circuit
+
+let report_summary (r : Mapper.report) =
+  Printf.eprintf
+    "mapped: %d gates (overhead F = %d), %s%s\n"
+    r.total_gates r.f_cost
+    (if r.optimal then "provably minimal" else "not proven minimal")
+    (match r.verified with
+    | Some true -> ", equivalence verified"
+    | Some false -> ", VERIFICATION FAILED"
+    | None -> "")
+
+let map_cmd =
+  let strategy_arg =
+    Arg.(
+      value
+      & opt strategy_conv Strategy.Minimal
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Permutation strategy: minimal, disjoint, odd, triangle \
+             (Secs. 3 and 4.2).")
+  in
+  let subsets_arg =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "subsets" ] ~docv:"BOOL"
+          ~doc:"Use the physical-qubit-subset optimization (Sec. 4.1).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
+  in
+  let run input device strategy subsets timeout output draw =
+    let circuit = load input in
+    let options =
+      { Mapper.default with strategy; use_subsets = subsets; timeout }
+    in
+    match Mapper.run ~options ~arch:device circuit with
+    | Ok r ->
+        report_summary r;
+        if draw then Draw.print r.elementary;
+        emit output r.elementary;
+        if r.verified = Some false then exit 1
+    | Error e ->
+        Format.eprintf "mapping failed: %a@." Mapper.pp_failure e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Exact SAT-based mapping (minimal SWAP/H cost).")
+    Term.(
+      const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
+      $ timeout_arg $ output_arg $ draw_arg)
+
+let heuristic_cmd =
+  let algo_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("stochastic", `Stochastic); ("astar", `Astar);
+               ("sabre", `Sabre) ])
+          `Stochastic
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "stochastic (Qiskit-0.4-style), astar (Zulehner-style) or \
+             sabre (Li-Ding-Xie-style).")
+  in
+  let times_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "times" ] ~docv:"N"
+          ~doc:"Stochastic repetitions; the best result is kept.")
+  in
+  let run input device algo times output draw =
+    let circuit = load input in
+    let total, f, elementary, verified =
+      match algo with
+      | `Stochastic ->
+          let r =
+            Qxm_heuristic.Stochastic_swap.run_best ~times ~arch:device
+              circuit
+          in
+          (r.total_gates, r.f_cost, r.elementary, r.verified)
+      | `Astar ->
+          let r = Qxm_heuristic.Astar_mapper.run ~arch:device circuit in
+          (r.total_gates, r.f_cost, r.elementary, r.verified)
+      | `Sabre ->
+          let r = Qxm_heuristic.Sabre.run ~arch:device circuit in
+          (r.total_gates, r.f_cost, r.elementary, r.verified)
+    in
+    Printf.eprintf "mapped: %d gates (overhead F = %d)%s\n" total f
+      (match verified with
+      | Some true -> ", equivalence verified"
+      | Some false -> ", VERIFICATION FAILED"
+      | None -> "");
+    if draw then Draw.print elementary;
+    emit output elementary;
+    if verified = Some false then exit 1
+  in
+  Cmd.v
+    (Cmd.info "heuristic" ~doc:"Heuristic baselines (for comparison).")
+    Term.(
+      const run $ input_arg $ device_arg $ algo_arg $ times_arg $ output_arg
+      $ draw_arg)
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        match Devices.by_name name with
+        | Some d ->
+            Printf.printf "%-6s %2d qubits, %2d directed edges\n" name
+              (Coupling.num_qubits d)
+              (List.length (Coupling.edges d))
+        | None -> Printf.printf "%-6s (parametric)\n" name)
+      Devices.names
+  in
+  Cmd.v
+    (Cmd.info "devices" ~doc:"List the built-in coupling maps.")
+    Term.(const run $ const ())
+
+let stats_cmd =
+  let run input draw =
+    let c = load input in
+    let cnots = Circuit.cnots c in
+    Printf.printf
+      "qubits: %d\ngates: %d (%d single-qubit + %d CNOT)\nlayers (disjoint \
+       clustering): %d\npermutation spots: minimal=%d disjoint=%d odd=%d \
+       triangle=%d\n"
+      (Circuit.num_qubits c) (Circuit.length c) (Circuit.count_singles c)
+      (Circuit.count_cnots c)
+      (Layers.count (Layers.of_circuit c))
+      (Strategy.reported_size Strategy.Minimal cnots)
+      (Strategy.reported_size Strategy.Disjoint_qubits cnots)
+      (Strategy.reported_size Strategy.Odd_gates cnots)
+      (Strategy.reported_size Strategy.Qubit_triangle cnots);
+    if draw then Draw.print c
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Circuit statistics and layering.")
+    Term.(const run $ input_arg $ draw_arg)
+
+let () =
+  let info =
+    Cmd.info "qxmap" ~version:"1.0.0"
+      ~doc:
+        "Map quantum circuits to IBM QX architectures with the minimal \
+         number of SWAP and H operations (Wille/Burgholzer/Zulehner, DAC \
+         2019)."
+  in
+  exit (Cmd.eval (Cmd.group info [ map_cmd; heuristic_cmd; devices_cmd; stats_cmd ]))

@@ -1,0 +1,70 @@
+(* Architecture explorer: what do the coupling maps look like, how
+   expensive are permutations on them, and how does the same circuit map
+   across devices?  Exercises the Sec. 4.1 subset machinery (Ex. 8/9) and
+   the swaps(π) tables of Eq. (5).
+
+   Run with:  dune exec examples/architecture_tour.exe *)
+
+module Coupling = Qxm_arch.Coupling
+module Devices = Qxm_arch.Devices
+module Subsets = Qxm_arch.Subsets
+module Swap_count = Qxm_arch.Swap_count
+module Mapper = Qxm_exact.Mapper
+module Examples = Qxm_benchmarks.Examples
+
+let tour name arch =
+  let m = Coupling.num_qubits arch in
+  Printf.printf "== %s: %d qubits, %d directed edges, %d triangles\n" name m
+    (List.length (Coupling.edges arch))
+    (List.length (Coupling.triangles arch));
+  if m <= 6 then begin
+    let table = Swap_count.compute arch in
+    let by_cost = Hashtbl.create 8 in
+    List.iter
+      (fun (_, c) ->
+        Hashtbl.replace by_cost c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_cost c)))
+      (Swap_count.permutations_with_cost table);
+    Printf.printf "   swaps(pi) histogram:";
+    for c = 0 to Swap_count.max_swaps table do
+      Printf.printf " %d->%d" c
+        (Option.value ~default:0 (Hashtbl.find_opt by_cost c))
+    done;
+    print_newline ();
+    (* subset counts for a 4-qubit circuit (Ex. 9 for QX4) *)
+    if m > 4 then
+      Printf.printf "   4-subsets: %d total, %d connected\n"
+        (Subsets.count_all arch 4)
+        (Subsets.count_connected arch 4)
+  end;
+  (* map the paper's example circuit onto this device *)
+  if m <= 8 then begin
+    let options = { Mapper.default with timeout = Some 60.0 } in
+    match Mapper.run ~options ~arch Examples.fig1a with
+    | Ok r ->
+        Printf.printf
+          "   Fig. 1a mapped: F = %d (%d gates)%s\n" r.f_cost r.total_gates
+          (if r.optimal then "" else " [timeout: best found]")
+    | Error e -> Format.printf "   Fig. 1a: %a@." Mapper.pp_failure e
+  end;
+  print_newline ()
+
+let () =
+  tour "IBM QX2" Devices.qx2;
+  tour "IBM QX4 (the paper's device)" Devices.qx4;
+  tour "line5" (Devices.line 5);
+  tour "ring5" (Devices.ring 5);
+  tour "star5" (Devices.star 5);
+  tour "grid 2x3" (Devices.grid ~rows:2 ~cols:3);
+  Printf.printf
+    "== IBM QX5: %d qubits (too large for the exact swaps(pi) table; the \
+     mapper handles it through Sec. 4.1 subsets)\n"
+    (Coupling.num_qubits Devices.qx5);
+  (* Map a 4-qubit circuit onto the 16-qubit QX5 via connected subsets. *)
+  let options = { Mapper.default with timeout = Some 120.0 } in
+  (match Mapper.run ~options ~arch:Devices.qx5 Examples.fig1a with
+  | Ok r ->
+      Printf.printf "   Fig. 1a on QX5: F = %d, using physicals" r.f_cost;
+      Array.iter (fun p -> Printf.printf " p%d" p) r.initial;
+      Printf.printf " (%d connected 4-subsets tried)\n" r.subsets_tried
+  | Error e -> Format.printf "   Fig. 1a on QX5: %a@." Mapper.pp_failure e)

@@ -1,0 +1,54 @@
+(* Quickstart: build a circuit, map it onto IBM QX4 with the exact
+   mapper, inspect the result, and emit OpenQASM.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Draw = Qxm_circuit.Draw
+module Qasm = Qxm_circuit.Qasm
+module Devices = Qxm_arch.Devices
+module Mapper = Qxm_exact.Mapper
+
+let () =
+  (* A 3-qubit GHZ-preparation circuit followed by a phase kick: the CNOT
+     from qubit 0 to qubit 2 is not a coupled pair on QX4, so the mapper
+     has to work for its money. *)
+  let circuit =
+    Circuit.empty 3
+    |> fun c ->
+    Circuit.add_single c Gate.H 0 |> fun c ->
+    Circuit.add_cnot c ~control:0 ~target:1 |> fun c ->
+    Circuit.add_cnot c ~control:0 ~target:2 |> fun c ->
+    Circuit.add_single c Gate.T 2 |> fun c ->
+    Circuit.add_cnot c ~control:1 ~target:2
+  in
+  print_endline "original circuit:";
+  Draw.print circuit;
+
+  (* Map it.  The default options give the paper's exact method with the
+     Sec. 4.1 subset optimization and unitary verification switched on. *)
+  match Mapper.run ~arch:Devices.qx4 circuit with
+  | Error e ->
+      Format.printf "mapping failed: %a@." Mapper.pp_failure e;
+      exit 1
+  | Ok r ->
+      Printf.printf
+        "\nmapped onto QX4: %d gates, overhead F = %d (%s, %s)\n\n"
+        r.total_gates r.f_cost
+        (if r.optimal then "provably minimal" else "not proven minimal")
+        (match r.verified with
+        | Some true -> "equivalence verified by simulation"
+        | Some false -> "VERIFICATION FAILED"
+        | None -> "not verified");
+      print_endline "mapped circuit (physical qubits):";
+      Draw.print r.elementary;
+      Printf.printf "\ninitial placement: ";
+      Array.iteri
+        (fun j p -> Printf.printf "q%d->p%d " j p)
+        r.initial;
+      Printf.printf "\nfinal placement:   ";
+      Array.iteri (fun j p -> Printf.printf "q%d->p%d " j p) r.final;
+      print_newline ();
+      print_endline "\nOpenQASM 2.0:";
+      print_string (Qasm.to_string r.elementary)

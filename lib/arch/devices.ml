@@ -1,0 +1,113 @@
+let qx2 =
+  Coupling.create ~num_qubits:5
+    [ (0, 1); (0, 2); (1, 2); (3, 2); (3, 4); (4, 2) ]
+
+let qx4 =
+  (* Fig. 2 of the paper, shifted to 0-based indices. *)
+  Coupling.create ~num_qubits:5
+    [ (1, 0); (2, 0); (2, 1); (3, 2); (3, 4); (4, 2) ]
+
+let qx5 =
+  Coupling.create ~num_qubits:16
+    [
+      (1, 0);
+      (1, 2);
+      (2, 3);
+      (3, 4);
+      (3, 14);
+      (5, 4);
+      (6, 5);
+      (6, 7);
+      (6, 11);
+      (7, 10);
+      (8, 7);
+      (9, 8);
+      (9, 10);
+      (11, 10);
+      (12, 5);
+      (12, 11);
+      (12, 13);
+      (13, 4);
+      (13, 14);
+      (15, 0);
+      (15, 2);
+      (15, 14);
+    ]
+
+let tokyo =
+  let undirected =
+    [
+      (0, 1); (1, 2); (2, 3); (3, 4);
+      (5, 6); (6, 7); (7, 8); (8, 9);
+      (10, 11); (11, 12); (12, 13); (13, 14);
+      (15, 16); (16, 17); (17, 18); (18, 19);
+      (0, 5); (1, 6); (2, 7); (3, 8); (4, 9);
+      (5, 10); (6, 11); (7, 12); (8, 13); (9, 14);
+      (10, 15); (11, 16); (12, 17); (13, 18); (14, 19);
+      (1, 7); (2, 6); (3, 9); (4, 8);
+      (5, 11); (6, 10); (7, 13); (8, 12);
+      (11, 17); (12, 16); (13, 19); (14, 18);
+    ]
+  in
+  Coupling.create ~num_qubits:20
+    (List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) undirected)
+
+let line m =
+  if m < 2 then invalid_arg "Devices.line: need at least 2 qubits";
+  Coupling.create ~num_qubits:m (List.init (m - 1) (fun i -> (i, i + 1)))
+
+let ring m =
+  if m < 3 then invalid_arg "Devices.ring: need at least 3 qubits";
+  Coupling.create ~num_qubits:m
+    ((m - 1, 0) :: List.init (m - 1) (fun i -> (i, i + 1)))
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Devices.grid: too small";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Coupling.create ~num_qubits:(rows * cols) !edges
+
+let star m =
+  if m < 2 then invalid_arg "Devices.star: need at least 2 qubits";
+  Coupling.create ~num_qubits:m (List.init (m - 1) (fun i -> (0, i + 1)))
+
+let all_fully_directed cm =
+  Coupling.create
+    ~num_qubits:(Coupling.num_qubits cm)
+    (List.concat_map
+       (fun (a, b) -> [ (a, b); (b, a) ])
+       (Coupling.edges cm))
+
+let parse_param prefix name =
+  let plen = String.length prefix in
+  if
+    String.length name > plen
+    && String.sub name 0 plen = prefix
+  then int_of_string_opt (String.sub name plen (String.length name - plen))
+  else None
+
+let by_name name =
+  match name with
+  | "qx2" -> Some qx2
+  | "qx4" -> Some qx4
+  | "qx5" -> Some qx5
+  | "tokyo" -> Some tokyo
+  | _ -> (
+      match parse_param "line" name with
+      | Some k when k >= 2 -> Some (line k)
+      | _ -> (
+          match parse_param "ring" name with
+          | Some k when k >= 3 -> Some (ring k)
+          | _ -> (
+              match parse_param "star" name with
+              | Some k when k >= 2 -> Some (star k)
+              | _ -> None)))
+
+let names = [ "qx2"; "qx4"; "qx5"; "tokyo"; "line<k>"; "ring<k>"; "star<k>" ]

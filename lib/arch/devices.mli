@@ -1,0 +1,40 @@
+(** Coupling maps of the IBM QX devices and synthetic topologies.
+
+    Physical qubits are 0-based here; the paper's Fig. 2 uses 1-based
+    names, so its p₁…p₅ are our p0…p4. *)
+
+val qx2 : Coupling.t
+(** IBM QX2 "Sparrow": 5 qubits. *)
+
+val qx4 : Coupling.t
+(** IBM QX4 "Tenerife" (Fig. 2): 5 qubits,
+    CM = {(1,0),(2,0),(2,1),(3,2),(3,4),(4,2)}. *)
+
+val qx5 : Coupling.t
+(** IBM QX5 "Albatross": 16 qubits. *)
+
+val tokyo : Coupling.t
+(** IBM Q20 Tokyo: 20 qubits, bidirectional couplings. *)
+
+val line : int -> Coupling.t
+(** [line m]: path topology, edges directed low → high. *)
+
+val ring : int -> Coupling.t
+(** [ring m]: cycle, directed low → high plus the closing edge. *)
+
+val grid : rows:int -> cols:int -> Coupling.t
+(** Rectangular lattice, directed low-index → high-index. *)
+
+val star : int -> Coupling.t
+(** [star m]: center qubit 0 controls all others. *)
+
+val all_fully_directed : Coupling.t -> Coupling.t
+(** Add the reverse of every edge (models devices without direction
+    constraints). *)
+
+val by_name : string -> Coupling.t option
+(** Look up ["qx2"], ["qx4"], ["qx5"], ["tokyo"], ["line<k>"],
+    ["ring<k>"], ["star<k>"]. *)
+
+val names : string list
+(** Names accepted by {!by_name} (parametric families shown with [<k>]). *)

@@ -1,0 +1,66 @@
+type t = {
+  cm : Coupling.t;
+  dist : int array array; (* max_int = unreachable *)
+  next : int array array; (* next hop on a shortest path, -1 = none *)
+}
+
+let compute cm =
+  let n = Coupling.num_qubits cm in
+  let dist = Array.make_matrix n n max_int in
+  let next = Array.make_matrix n n (-1) in
+  for i = 0 to n - 1 do
+    dist.(i).(i) <- 0;
+    next.(i).(i) <- i
+  done;
+  List.iter
+    (fun (a, b) ->
+      dist.(a).(b) <- 1;
+      dist.(b).(a) <- 1;
+      next.(a).(b) <- b;
+      next.(b).(a) <- a)
+    (Coupling.undirected_edges cm);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if dist.(i).(k) < max_int then
+        for j = 0 to n - 1 do
+          if
+            dist.(k).(j) < max_int
+            && dist.(i).(k) + dist.(k).(j) < dist.(i).(j)
+          then begin
+            dist.(i).(j) <- dist.(i).(k) + dist.(k).(j);
+            next.(i).(j) <- next.(i).(k)
+          end
+        done
+    done
+  done;
+  { cm; dist; next }
+
+let distance_opt t a b =
+  let d = t.dist.(a).(b) in
+  if d = max_int then None else Some d
+
+let distance t a b =
+  match distance_opt t a b with
+  | Some d -> d
+  | None -> invalid_arg "Paths.distance: unreachable"
+
+let cnot_cost t ~control ~target =
+  if Coupling.allows t.cm control target then 1
+  else if Coupling.allows t.cm target control then 5
+  else invalid_arg "Paths.cnot_cost: not coupled"
+
+let swap_path t a b =
+  if t.dist.(a).(b) = max_int then
+    invalid_arg "Paths.swap_path: unreachable";
+  let rec go q acc = if q = b then List.rev (b :: acc) else go t.next.(q).(b) (q :: acc) in
+  go a []
+
+let diameter t =
+  let n = Array.length t.dist in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if t.dist.(i).(j) < max_int then m := max !m t.dist.(i).(j)
+    done
+  done;
+  !m

@@ -1,0 +1,26 @@
+(** Shortest-path tables over the coupling graph, used by the heuristic
+    baselines (the exact mapper needs only {!Swap_count}).
+
+    Distances are measured on the undirected graph; a separate table gives
+    the cheapest way to execute a CNOT on adjacent qubits, accounting for
+    the 4-Hadamard penalty when only the wrong direction exists. *)
+
+type t
+
+val compute : Coupling.t -> t
+
+val distance : t -> int -> int -> int
+(** Undirected hop distance. @raise Invalid_argument if unreachable. *)
+
+val distance_opt : t -> int -> int -> int option
+
+val cnot_cost : t -> control:int -> target:int -> int
+(** Elementary gates to run a CNOT on *adjacent* qubits: 1 if the
+    direction exists, 5 (CNOT + 4 H) if only the reverse does.
+    @raise Invalid_argument if the qubits are not coupled. *)
+
+val swap_path : t -> int -> int -> int list
+(** A shortest path (list of qubits, endpoints included).
+    @raise Invalid_argument if unreachable. *)
+
+val diameter : t -> int

@@ -1,0 +1,126 @@
+type t = int array
+
+let identity n = Array.init n Fun.id
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i ->
+      i >= 0 && i < n
+      &&
+      if seen.(i) then false
+      else begin
+        seen.(i) <- true;
+        true
+      end)
+    p
+
+let is_identity p =
+  let ok = ref true in
+  Array.iteri (fun i x -> if i <> x then ok := false) p;
+  !ok
+
+let compose g f = Array.init (Array.length f) (fun i -> g.(f.(i)))
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let apply p i = p.(i)
+let equal (a : t) (b : t) = a = b
+
+let swap_after p a b =
+  (* contents at positions a and b exchange: transpose image values a,b *)
+  Array.map (fun x -> if x = a then b else if x = b then a else x) p
+
+let all n =
+  if n > 8 then invalid_arg "Permutation.all: n too large";
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+        (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  let lists = perms (List.init n Fun.id) in
+  let arrays = List.map Array.of_list lists in
+  let id = identity n in
+  id :: List.filter (fun p -> p <> id) arrays
+
+let count_transpositions p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let cycles = ref 0 in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      incr cycles;
+      let j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        j := p.(!j)
+      done
+    end
+  done;
+  n - !cycles
+
+let rank p =
+  (* Lehmer code: digit i is the number of smaller elements right of i. *)
+  let n = Array.length p in
+  let r = ref 0 in
+  for i = 0 to n - 1 do
+    let smaller = ref 0 in
+    for j = i + 1 to n - 1 do
+      if p.(j) < p.(i) then incr smaller
+    done;
+    let fact = ref 1 in
+    for k = 2 to n - 1 - i do
+      fact := !fact * k
+    done;
+    r := !r + (!smaller * !fact)
+  done;
+  !r
+
+let unrank n r =
+  let fact = Array.make (n + 1) 1 in
+  for i = 1 to n do
+    fact.(i) <- fact.(i - 1) * i
+  done;
+  if r < 0 || r >= fact.(n) then invalid_arg "Permutation.unrank";
+  let avail = ref (List.init n Fun.id) in
+  let r = ref r in
+  Array.init n (fun i ->
+      let f = fact.(n - 1 - i) in
+      let d = !r / f in
+      r := !r mod f;
+      let x = List.nth !avail d in
+      avail := List.filter (fun y -> y <> x) !avail;
+      x)
+
+let of_list l =
+  let p = Array.of_list l in
+  if not (is_valid p) then invalid_arg "Permutation.of_list";
+  p
+
+let pp fmt p =
+  if is_identity p then Format.pp_print_string fmt "id"
+  else begin
+    let n = Array.length p in
+    let seen = Array.make n false in
+    for i = 0 to n - 1 do
+      if (not seen.(i)) && p.(i) <> i then begin
+        Format.fprintf fmt "(%d" i;
+        seen.(i) <- true;
+        let j = ref p.(i) in
+        while !j <> i do
+          Format.fprintf fmt " %d" !j;
+          seen.(!j) <- true;
+          j := p.(!j)
+        done;
+        Format.fprintf fmt ")"
+      end
+    done
+  end

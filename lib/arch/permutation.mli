@@ -1,0 +1,42 @@
+(** Permutations of physical-qubit contents (Def. 5).
+
+    A permutation is an array [p] with [p.(i)] = the position the content
+    of position [i] moves to.  Applying a SWAP on the pair (a, b) after a
+    permutation exchanges the *contents currently at* a and b. *)
+
+type t = int array
+
+val identity : int -> t
+val is_identity : t -> bool
+val is_valid : t -> bool
+
+val compose : t -> t -> t
+(** [compose g f] applies [f] first: [(compose g f).(i) = g.(f.(i))]. *)
+
+val inverse : t -> t
+val apply : t -> int -> int
+val equal : t -> t -> bool
+
+val swap_after : t -> int -> int -> t
+(** [swap_after p a b]: exchange the contents that currently sit at
+    positions [a] and [b] (i.e. compose the transposition (a b) after
+    [p]). *)
+
+val all : int -> t list
+(** Every permutation of [n] elements, n! of them, identity first.
+    @raise Invalid_argument for [n > 8] (guard against blow-up). *)
+
+val count_transpositions : t -> int
+(** Minimal number of (unrestricted) transpositions: n − #cycles. *)
+
+val rank : t -> int
+(** Lehmer rank in [0, n!): a perfect hash for table indexing. *)
+
+val unrank : int -> int -> t
+(** [unrank n r] inverts {!rank} for permutations of [n] elements. *)
+
+val of_list : int list -> t
+(** @raise Invalid_argument if not a permutation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Cycle notation, e.g. [(0 2 1)(3 4)]; identity prints as [id]. *)

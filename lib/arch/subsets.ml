@@ -1,0 +1,18 @@
+let rec choose k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (choose (k - 1) rest) @ choose k rest
+
+let all cm n =
+  if n < 0 || n > Coupling.num_qubits cm then
+    invalid_arg "Subsets.all: bad size";
+  choose n (List.init (Coupling.num_qubits cm) Fun.id)
+
+let connected cm n =
+  List.filter (Coupling.subset_connected cm) (all cm n)
+
+let count_all cm n = List.length (all cm n)
+let count_connected cm n = List.length (connected cm n)

@@ -1,0 +1,20 @@
+(** Physical-qubit subset enumeration (Sec. 4.1).
+
+    When a circuit uses n < m qubits, the mapper may restrict itself to n
+    of the m physical qubits and solve (m choose n) smaller instances.
+    Subsets whose induced coupling graph is disconnected can never host a
+    connected interaction and are pruned up front (Ex. 9: on QX4 every
+    4-subset must contain p₂ — 0-based — leaving 4 of the 5 subsets). *)
+
+val choose : int -> int list -> int list list
+(** [choose k xs]: all size-[k] subsets, each ascending, in lexicographic
+    order. *)
+
+val all : Coupling.t -> int -> int list list
+(** All size-[n] subsets of the architecture's qubits. *)
+
+val connected : Coupling.t -> int -> int list list
+(** Only the subsets whose induced undirected graph is connected. *)
+
+val count_all : Coupling.t -> int -> int
+val count_connected : Coupling.t -> int -> int

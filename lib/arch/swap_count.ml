@@ -1,0 +1,80 @@
+type entry = {
+  cost : int;
+  via : (int * int) option; (* last SWAP applied, None at identity *)
+  prev : int; (* rank of the predecessor permutation *)
+}
+
+type t = {
+  num_qubits : int;
+  table : entry option array; (* indexed by Permutation.rank *)
+  max_swaps : int;
+  ordered : (Permutation.t * int) list;
+}
+
+let compute cm =
+  let m = Coupling.num_qubits cm in
+  if m > 8 then invalid_arg "Swap_count.compute: too many qubits";
+  let fact = ref 1 in
+  for i = 2 to m do
+    fact := !fact * i
+  done;
+  let table = Array.make !fact None in
+  let gen = Coupling.undirected_edges cm in
+  let id = Permutation.identity m in
+  let id_rank = Permutation.rank id in
+  table.(id_rank) <- Some { cost = 0; via = None; prev = id_rank };
+  let queue = Queue.create () in
+  Queue.add id queue;
+  let max_swaps = ref 0 in
+  let ordered = ref [ (id, 0) ] in
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    let here =
+      match table.(Permutation.rank p) with
+      | Some e -> e.cost
+      | None -> assert false
+    in
+    List.iter
+      (fun (a, b) ->
+        let q = Permutation.swap_after p a b in
+        let r = Permutation.rank q in
+        if table.(r) = None then begin
+          table.(r) <-
+            Some { cost = here + 1; via = Some (a, b); prev = Permutation.rank p };
+          max_swaps := max !max_swaps (here + 1);
+          ordered := (q, here + 1) :: !ordered;
+          Queue.add q queue
+        end)
+      gen
+  done;
+  { num_qubits = m; table; max_swaps = !max_swaps; ordered = List.rev !ordered }
+
+let num_qubits t = t.num_qubits
+
+let check_size t p =
+  if Array.length p <> t.num_qubits then
+    invalid_arg "Swap_count: permutation size mismatch"
+
+let swaps_opt t p =
+  check_size t p;
+  Option.map (fun e -> e.cost) t.table.(Permutation.rank p)
+
+let swaps t p =
+  match swaps_opt t p with
+  | Some c -> c
+  | None -> invalid_arg "Swap_count.swaps: unreachable permutation"
+
+let reachable t p = swaps_opt t p <> None
+
+let sequence t p =
+  check_size t p;
+  let rec walk r acc =
+    match t.table.(r) with
+    | None -> invalid_arg "Swap_count.sequence: unreachable permutation"
+    | Some { via = None; _ } -> acc
+    | Some { via = Some sw; prev; _ } -> walk prev (sw :: acc)
+  in
+  walk (Permutation.rank p) []
+
+let max_swaps t = t.max_swaps
+let permutations_with_cost t = t.ordered

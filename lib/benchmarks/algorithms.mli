@@ -1,0 +1,40 @@
+(** Textbook quantum-algorithm workloads.
+
+    The paper's introduction motivates mapping with algorithms like
+    Grover search and Shor factoring; these builders provide small
+    instances of the standard circuit families so the mapper can be
+    exercised on "real" workloads rather than only on reversible
+    netlists.  All circuits use the {U, CNOT} set after construction
+    (multi-controlled pieces go through the {!Mct} decompositions). *)
+
+val ghz : int -> Qxm_circuit.Circuit.t
+(** [ghz n]: H then a CNOT ladder — prepares (|0…0⟩+|1…1⟩)/√2. *)
+
+val qft : ?approximation:int -> int -> Qxm_circuit.Circuit.t
+(** [qft n]: quantum Fourier transform on [n] qubits with the standard
+    H/controlled-phase cascade (controlled phases decomposed into
+    2 CNOTs + 3 Rz) followed by the qubit-reversal SWaps, themselves
+    decomposed into CNOT triples.  [approximation] drops controlled
+    phases beyond that distance (default: none dropped). *)
+
+val qft_no_reversal : ?approximation:int -> int -> Qxm_circuit.Circuit.t
+(** QFT without the final reordering SWaps (the common compiled form). *)
+
+val bernstein_vazirani : secret:int -> int -> Qxm_circuit.Circuit.t
+(** [bernstein_vazirani ~secret n]: the BV circuit over [n] data qubits
+    plus one ancilla (qubit [n]); CNOTs encode the [secret] bitmask. *)
+
+val grover : marked:int -> int -> Qxm_circuit.Circuit.t
+(** [grover ~marked n]: one Grover iteration over [n ≤ 3] data qubits
+    (oracle marking basis state [marked] + diffusion), with the
+    multi-controlled-Z realized through {!Mct} Toffolis on an ancilla
+    when needed.  @raise Invalid_argument for n outside [2,3]. *)
+
+val cuccaro_adder : int -> Qxm_circuit.Circuit.t
+(** [cuccaro_adder k]: the ripple-carry adder of Cuccaro et al. on two
+    [k]-bit registers plus carry-in/out ancillas (2k+2 qubits),
+    decomposed to {1q, CNOT}. *)
+
+val controlled_phase : float -> int -> int -> Qxm_circuit.Circuit.t -> Qxm_circuit.Circuit.t
+(** [controlled_phase theta control target c]: append CP(θ) decomposed as
+    Rz(θ/2) on both qubits around CNOTs (exact up to global phase). *)

@@ -1,0 +1,25 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+
+(* Fig. 1a, reconstructed to satisfy every property the paper states about
+   it: 4 qubits, 3 single-qubit gates (H, T, H) and 5 CNOTs; g1 and g2 act
+   on disjoint qubits; g2..g5 act on only q1,q2,q3 (Ex. 10); the minimal
+   mapping onto QX4 costs F = 4 via the placement of Fig. 5 (Ex. 7). *)
+let fig1a =
+  Circuit.create 4
+    [
+      Gate.Single (Gate.H, 1);
+      Gate.Cnot (2, 3);
+      Gate.Cnot (0, 1);
+      Gate.Single (Gate.T, 0);
+      Gate.Cnot (1, 2);
+      Gate.Single (Gate.H, 2);
+      Gate.Cnot (0, 2);
+      Gate.Cnot (2, 1);
+    ]
+
+let fig1b = Circuit.without_singles fig1a
+
+let example4_phi (x1, x2, x3) =
+  (* Φ = (x1 + x2 + ¬x3)(¬x1 + x3)(¬x2 + x3) *)
+  (x1 || x2 || not x3) && ((not x1) || x3) && ((not x2) || x3)

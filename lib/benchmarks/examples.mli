@@ -1,0 +1,12 @@
+(** The paper's running examples. *)
+
+val fig1a : Qxm_circuit.Circuit.t
+(** The 4-qubit, 8-gate circuit of Fig. 1a (q1…q4 are qubits 0…3).  Its
+    minimal mapping cost onto QX4 is F = 4 (Example 7). *)
+
+val fig1b : Qxm_circuit.Circuit.t
+(** Fig. 1b: the same circuit without single-qubit gates. *)
+
+val example4_phi : (bool * bool * bool) -> bool
+(** The CNF Φ of Example 4 evaluated at (x1, x2, x3) — used by the SAT
+    tests to cross-check the solver on the paper's own formula. *)

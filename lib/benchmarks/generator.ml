@@ -1,0 +1,119 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Pick [k] distinct qubits, preferring members of [prev] (cascade bias). *)
+let pick_operands rng ~qubits ~k ~prev =
+  let chosen = ref [] in
+  let available () =
+    List.filter (fun q -> not (List.mem q !chosen)) (List.init qubits Fun.id)
+  in
+  for _ = 1 to k do
+    let avail = available () in
+    let local = List.filter (fun q -> List.mem q prev) avail in
+    let pool =
+      if local <> [] && Random.State.float rng 1.0 < 0.6 then local
+      else avail
+    in
+    chosen := List.nth pool (Random.State.int rng (List.length pool)) :: !chosen
+  done;
+  !chosen
+
+let attempt rng ~qubits ~toffolis ~cnots ~nots =
+  let kinds =
+    Array.concat
+      [
+        Array.make toffolis 2;
+        Array.make cnots 1;
+        Array.make nots 0;
+      ]
+  in
+  shuffle rng kinds;
+  let prev = ref [] in
+  let prev_gate = ref None in
+  let gates =
+    Array.to_list kinds
+    |> List.map (fun ncontrols ->
+           let rec fresh () =
+             let ops =
+               pick_operands rng ~qubits ~k:(ncontrols + 1) ~prev:!prev
+             in
+             let g =
+               match ops with
+               | [ t ] -> { Mct.controls = []; target = t }
+               | [ t; c ] -> { Mct.controls = [ c ]; target = t }
+               | [ t; c1; c2 ] ->
+                   (* controls are order-insensitive: normalize *)
+                   let lo = min c1 c2 and hi = max c1 c2 in
+                   { Mct.controls = [ lo; hi ]; target = t }
+               | _ -> assert false
+             in
+             if !prev_gate = Some g then fresh () else g
+           in
+           let g = fresh () in
+           prev := g.Mct.target :: g.Mct.controls;
+           prev_gate := Some g;
+           g)
+  in
+  Mct.create qubits gates
+
+let uses_all_qubits mct =
+  let touched = Array.make mct.Mct.qubits false in
+  List.iter
+    (fun g ->
+      touched.(g.Mct.target) <- true;
+      List.iter (fun c -> touched.(c) <- true) g.Mct.controls)
+    mct.Mct.gates;
+  Array.for_all Fun.id touched
+
+let reversible ~seed ~qubits ~toffolis ~cnots ~nots =
+  if toffolis + cnots + nots = 0 && qubits > 0 then
+    invalid_arg "Generator.reversible: no gates";
+  if qubits < 3 && toffolis > 0 then
+    invalid_arg "Generator.reversible: Toffoli needs 3 qubits";
+  (* Full coverage is only demanded when the gate list can possibly touch
+     every qubit. *)
+  let coverable = (3 * toffolis) + (2 * cnots) + nots >= qubits in
+  let rec go attempt_no =
+    if attempt_no > 1000 then
+      invalid_arg "Generator.reversible: cannot cover all qubits";
+    let rng = Random.State.make [| seed; attempt_no; 0xbe9c |] in
+    let mct = attempt rng ~qubits ~toffolis ~cnots ~nots in
+    if (not coverable) || uses_all_qubits mct then mct
+    else go (attempt_no + 1)
+  in
+  go 0
+
+let random_circuit ~seed ~qubits ~cnots ~singles =
+  if qubits < 2 && cnots > 0 then
+    invalid_arg "Generator.random_circuit: CNOT needs 2 qubits";
+  let rng = Random.State.make [| seed; 0xc14c |] in
+  let kinds =
+    Array.concat [ Array.make cnots true; Array.make singles false ]
+  in
+  shuffle rng kinds;
+  let single_pool = [| Gate.H; Gate.T; Gate.S; Gate.X; Gate.Tdg |] in
+  let gates =
+    Array.to_list kinds
+    |> List.map (fun is_cnot ->
+           if is_cnot then begin
+             let c = Random.State.int rng qubits in
+             let rec pick_t () =
+               let t = Random.State.int rng qubits in
+               if t = c then pick_t () else t
+             in
+             Gate.Cnot (c, pick_t ())
+           end
+           else
+             Gate.Single
+               ( single_pool.(Random.State.int rng (Array.length single_pool)),
+                 Random.State.int rng qubits ))
+  in
+  Circuit.create qubits gates

@@ -1,0 +1,29 @@
+(** Deterministic circuit generators.
+
+    [reversible] reconstructs benchmark-like MCT netlists with prescribed
+    gate-type counts: real RevLib netlists are cascades where consecutive
+    gates tend to share qubits, so operand choice is locality-biased.  The
+    result is deterministic in [seed] and never repeats a gate back to
+    back (which would cancel trivially).
+
+    [random_circuit] produces raw elementary-gate circuits for property
+    tests and scaling studies. *)
+
+val reversible :
+  seed:int ->
+  qubits:int ->
+  toffolis:int ->
+  cnots:int ->
+  nots:int ->
+  Mct.t
+(** All qubits are guaranteed to be touched (the seed is advanced until
+    they are). @raise Invalid_argument if impossible (e.g. 0 gates on >0
+    qubits). *)
+
+val random_circuit :
+  seed:int ->
+  qubits:int ->
+  cnots:int ->
+  singles:int ->
+  Qxm_circuit.Circuit.t
+(** Uniformly random CNOT endpoints and H/T/S/X singles, interleaved. *)

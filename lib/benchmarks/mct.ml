@@ -1,0 +1,88 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+
+type gate = { controls : int list; target : int }
+type t = { qubits : int; gates : gate list }
+
+let create qubits gates =
+  if qubits <= 0 then invalid_arg "Mct.create: no qubits";
+  List.iter
+    (fun { controls; target } ->
+      let operands = target :: controls in
+      List.iter
+        (fun q ->
+          if q < 0 || q >= qubits then
+            invalid_arg "Mct.create: qubit out of range")
+        operands;
+      if List.length (List.sort_uniq compare operands) <> List.length operands
+      then invalid_arg "Mct.create: duplicate operands";
+      if List.length controls > 3 then
+        invalid_arg "Mct.create: more than 3 controls unsupported")
+    gates;
+  { qubits; gates }
+
+(* Standard Toffoli decomposition (Nielsen & Chuang Fig. 4.9):
+   6 CNOTs and 9 single-qubit gates, exact including phases. *)
+let toffoli_gates a b t =
+  [
+    Gate.Single (Gate.H, t);
+    Gate.Cnot (b, t);
+    Gate.Single (Gate.Tdg, t);
+    Gate.Cnot (a, t);
+    Gate.Single (Gate.T, t);
+    Gate.Cnot (b, t);
+    Gate.Single (Gate.Tdg, t);
+    Gate.Cnot (a, t);
+    Gate.Single (Gate.T, b);
+    Gate.Single (Gate.T, t);
+    Gate.Single (Gate.H, t);
+    Gate.Cnot (a, b);
+    Gate.Single (Gate.T, a);
+    Gate.Single (Gate.Tdg, b);
+    Gate.Cnot (a, b);
+  ]
+
+let lower qubits g =
+  match (g.controls, g.target) with
+  | [], t -> [ Gate.Single (Gate.X, t) ]
+  | [ c ], t -> [ Gate.Cnot (c, t) ]
+  | [ a; b ], t -> toffoli_gates a b t
+  | [ a; b; c ], t -> (
+      (* C³X via 4 Toffolis and a dirty ancilla d (exact identity:
+         the two toggles of d cancel). *)
+      let used = [ a; b; c; t ] in
+      let free =
+        List.filter (fun q -> not (List.mem q used))
+          (List.init qubits Fun.id)
+      in
+      match free with
+      | [] -> invalid_arg "Mct: C3X needs a dirty ancilla"
+      | d :: _ ->
+          toffoli_gates a b d @ toffoli_gates c d t
+          @ toffoli_gates a b d @ toffoli_gates c d t)
+  | _ -> assert false
+
+let to_circuit t =
+  Circuit.create t.qubits (List.concat_map (lower t.qubits) t.gates)
+
+let gate_counts t =
+  List.fold_left
+    (fun (s, c) g ->
+      match List.length g.controls with
+      | 0 -> (s + 1, c)
+      | 1 -> (s, c + 1)
+      | 2 -> (s + 9, c + 6)
+      | 3 -> (s + 36, c + 24)
+      | _ -> assert false)
+    (0, 0) t.gates
+
+let simulate t input =
+  List.fold_left
+    (fun state g ->
+      let active =
+        List.for_all (fun c -> state land (1 lsl c) <> 0) g.controls
+      in
+      if active then state lxor (1 lsl g.target) else state)
+    input t.gates
+
+let permutation t = Array.init (1 lsl t.qubits) (simulate t)

@@ -1,0 +1,36 @@
+(** Multiple-control Toffoli (reversible) circuits.
+
+    The paper's benchmarks are RevLib reversible functions given as MCT
+    netlists and decomposed to the IBM elementary gate set before mapping.
+    This module provides that layer: NOT / CNOT / Toffoli / C³X gates and
+    the standard decompositions (Toffoli = 6 CNOT + 9 T/T†/H gates;
+    C³X = 4 Toffolis with a dirty ancilla). *)
+
+type gate = { controls : int list; target : int }
+
+type t = { qubits : int; gates : gate list }
+
+val create : int -> gate list -> t
+(** @raise Invalid_argument on out-of-range or duplicate operands, or
+    more than 3 controls. *)
+
+val to_circuit : t -> Qxm_circuit.Circuit.t
+(** Decompose to single-qubit gates and CNOTs.  C³X needs at least one
+    free qubit as a dirty ancilla. @raise Invalid_argument otherwise. *)
+
+val gate_counts : t -> int * int
+(** (single-qubit gates, CNOTs) of the decomposition: a NOT contributes
+    (1,0), a CNOT (0,1), a Toffoli (9,6), a C³X (36,24). *)
+
+val permutation : t -> int array
+(** Truth-table of the reversible function: entry [i] is the image of
+    basis state [i] (qubit 0 = least significant bit). Usable up to ~20
+    qubits. *)
+
+val simulate : t -> int -> int
+(** Image of one basis state. *)
+
+val toffoli_gates : int -> int -> int -> Qxm_circuit.Gate.t list
+(** [toffoli_gates a b t]: the standard 15-gate (6 CNOT + 9 single)
+    decomposition of a Toffoli with controls [a], [b] and target [t],
+    exact including phases. *)

@@ -1,0 +1,118 @@
+type paper_row = {
+  n : int;
+  singles : int;
+  cnots : int;
+  c_min : int;
+  t_min : float;
+  c_sub : int;
+  t_sub : float;
+  gp_disjoint : int;
+  c_disjoint : int;
+  t_disjoint : float;
+  gp_odd : int;
+  c_odd : int;
+  t_odd : float;
+  gp_triangle : int;
+  c_triangle : int;
+  t_triangle : float;
+  c_ibm : int;
+}
+
+type entry = {
+  name : string;
+  mct : Mct.t;
+  circuit : Qxm_circuit.Circuit.t;
+  paper : paper_row;
+}
+
+(* Table 1 of the paper, column by column:
+   name, n, singles, cnots,
+   c_min, t_min, c_sub, t_sub,
+   |G'|_disjoint, c, t,  |G'|_odd, c, t,  |G'|_triangle, c, t,  c_ibm. *)
+let table1 =
+  [
+    ("3_17_13",     3, 19, 17,  59, 29.,  59, 0.,   17, 59, 0.,    9, 60, 0.,    1, 60, 0.,   80);
+    ("ex-1_166",    3, 10,  9,  31, 5.,   31, 0.,    9, 31, 0.,    5, 31, 0.,    1, 31, 0.,   39);
+    ("ham3_102",    3,  9, 11,  36, 10.,  36, 0.,   11, 36, 0.,    6, 36, 0.,    1, 36, 0.,   48);
+    ("miller_11",   3, 27, 23,  82, 231., 82, 0.,   23, 82, 0.,   12, 82, 0.,    1, 82, 0.,   82);
+    ("4gt11_84",    4,  9,  9,  34, 7.,   34, 0.,    9, 34, 0.,    5, 34, 0.,    2, 34, 0.,   37);
+    ("rd32-v0_66",  4, 18, 16,  63, 281., 63, 35.,  16, 63, 35.,   8, 63, 1.,    2, 72, 0.,  101);
+    ("rd32-v1_68",  4, 20, 16,  65, 276., 65, 35.,  16, 65, 36.,   8, 65, 1.,    2, 74, 0.,   99);
+    ("4gt11_82",    5,  9, 18,  62, 133., 62, 137., 18, 62, 139.,  9, 62, 3.,    5, 62, 1.,   77);
+    ("4gt11_83",    5,  9, 14,  49, 17.,  49, 17.,  14, 49, 18.,   7, 50, 1.,    3, 50, 0.,   65);
+    ("4gt13_92",    5, 36, 30, 109, 528., 109, 533., 29, 109, 199., 15, 110, 10., 9, 110, 5., 126);
+    ("4mod5-v0_19", 5, 19, 16,  64, 256., 64, 264., 16, 64, 255.,  8, 68, 2.,    3, 69, 0.,  109);
+    ("4mod5-v0_20", 5, 10, 10,  35, 10.,  35, 10.,  10, 35, 11.,   5, 35, 0.,    3, 35, 0.,   64);
+    ("4mod5-v1_22", 5, 10, 11,  40, 7.,   40, 7.,   10, 40, 9.,    6, 40, 0.,    3, 43, 0.,   52);
+    ("4mod5-v1_24", 5, 20, 16,  63, 54.,  63, 55.,  16, 63, 56.,   8, 63, 3.,    3, 63, 0.,   98);
+    ("alu-v0_27",   5, 19, 17,  63, 74.,  63, 73.,  16, 63, 38.,   9, 63, 2.,    3, 67, 0.,  101);
+    ("alu-v1_28",   5, 19, 18,  64, 94.,  64, 92.,  17, 64, 44.,   9, 67, 10.,   3, 68, 0.,  123);
+    ("alu-v1_29",   5, 20, 17,  64, 351., 64, 355., 16, 64, 119.,  9, 64, 3.,    3, 68, 0.,  104);
+    ("alu-v2_33",   5, 20, 17,  64, 42.,  64, 44.,  17, 64, 44.,   9, 64, 4.,    4, 64, 0.,   99);
+    ("alu-v3_34",   5, 28, 24,  90, 719., 90, 727., 24, 90, 724., 12, 91, 10.,   4, 91, 0.,  178);
+    ("alu-v3_35",   5, 19, 18,  64, 103., 64, 101., 17, 64, 74.,   9, 64, 3.,    3, 68, 0.,  121);
+    ("alu-v4_37",   5, 19, 18,  64, 119., 64, 121., 17, 64, 43.,   9, 64, 6.,    3, 68, 0.,  110);
+    ("mod5d1_63",   5,  9, 13,  48, 14.,  48, 13.,  11, 48, 8.,    7, 48, 5.,    5, 48, 1.,   98);
+    ("mod5mils_65", 5, 19, 16,  64, 96.,  64, 98.,  16, 64, 94.,   8, 65, 1.,    3, 65, 0.,  108);
+    ("qe_qft_4",    5, 44, 27,  94, 136., 94, 135., 19, 94, 21.,  14, 94, 9.,   16, 94, 12., 115);
+    ("qe_qft_5",    5, 69, 38, 135, 401., 135, 395., 26, 135, 21., 19, 139, 107., 24, 145, 48., 163);
+  ]
+
+(* Reconstruction calibration: an MCT netlist of T Toffolis, C CNOTs and
+   N NOTs decomposes to exactly (9T+N) single-qubit gates and (6T+C)
+   CNOTs; every Table-1 row is representable this way. *)
+let calibrate ~singles ~cnots =
+  let t = min (singles / 9) (cnots / 6) in
+  let n = singles - (9 * t) in
+  let c = cnots - (6 * t) in
+  assert (n >= 0 && c >= 0);
+  (t, c, n)
+
+let build_entry idx
+    ( name, n, singles, cnots,
+      c_min, t_min, c_sub, t_sub,
+      gp_disjoint, c_disjoint, t_disjoint,
+      gp_odd, c_odd, t_odd,
+      gp_triangle, c_triangle, t_triangle,
+      c_ibm ) =
+  let toffolis, plain_cnots, nots = calibrate ~singles ~cnots in
+  let mct =
+    Generator.reversible ~seed:(7919 * (idx + 1)) ~qubits:n ~toffolis
+      ~cnots:plain_cnots ~nots
+  in
+  let circuit = Mct.to_circuit mct in
+  assert (Qxm_circuit.Circuit.count_singles circuit = singles);
+  assert (Qxm_circuit.Circuit.count_cnots circuit = cnots);
+  {
+    name;
+    mct;
+    circuit;
+    paper =
+      {
+        n;
+        singles;
+        cnots;
+        c_min;
+        t_min;
+        c_sub;
+        t_sub;
+        gp_disjoint;
+        c_disjoint;
+        t_disjoint;
+        gp_odd;
+        c_odd;
+        t_odd;
+        gp_triangle;
+        c_triangle;
+        t_triangle;
+        c_ibm;
+      };
+  }
+
+let all_memo = lazy (List.mapi build_entry table1)
+let all () = Lazy.force all_memo
+let by_name name = List.find_opt (fun e -> e.name = name) (all ())
+let names = List.map (fun (n, _, _, _, _, _, _, _, _, _, _, _, _, _, _, _, _, _) -> n) table1
+
+let small () =
+  List.filter (fun e -> e.paper.cnots <= 16) (all ())

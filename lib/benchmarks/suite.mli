@@ -1,0 +1,48 @@
+(** The Table-1 benchmark suite.
+
+    The paper evaluates 25 RevLib/OpenQASM circuits on IBM QX4.  The
+    original netlist files are not redistributable here, so each benchmark
+    is *reconstructed*: a deterministic MCT netlist with the same number
+    of logical qubits and exactly the same decomposed gate counts
+    (single-qubit gates and CNOTs) as reported in the paper's "original
+    cost" column.  Table 1's reference numbers are embedded for the
+    paper-vs-measured comparison in EXPERIMENTS.md. *)
+
+(** One Table 1 row as printed in the paper. *)
+type paper_row = {
+  n : int;
+  singles : int;
+  cnots : int;
+  c_min : int;  (** minimal cost (gate count of the mapped circuit) *)
+  t_min : float;  (** paper's Z3 runtime, seconds *)
+  c_sub : int;  (** Sec. 4.1 subset method *)
+  t_sub : float;
+  gp_disjoint : int;  (** |G'| for disjoint qubits *)
+  c_disjoint : int;
+  t_disjoint : float;
+  gp_odd : int;
+  c_odd : int;
+  t_odd : float;
+  gp_triangle : int;
+  c_triangle : int;
+  t_triangle : float;
+  c_ibm : int;  (** Qiskit 0.4.15 heuristic, min of 5 runs *)
+}
+
+type entry = {
+  name : string;
+  mct : Mct.t;  (** reconstructed reversible netlist *)
+  circuit : Qxm_circuit.Circuit.t;  (** decomposed to {1q, CNOT} *)
+  paper : paper_row;
+}
+
+val all : unit -> entry list
+(** The 25 benchmarks, in Table-1 order.  Reconstruction is deterministic;
+    gate counts match the paper exactly (checked by the test suite). *)
+
+val by_name : string -> entry option
+val names : string list
+
+val small : unit -> entry list
+(** The benchmarks with at most 16 CNOTs — a quick subset for smoke
+    benchmarking. *)

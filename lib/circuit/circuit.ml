@@ -1,0 +1,88 @@
+type t = { num_qubits : int; gates : Gate.t list }
+
+let check_gate n g =
+  List.iter
+    (fun q ->
+      if q < 0 || q >= n then
+        invalid_arg
+          (Printf.sprintf "Circuit: gate %s uses qubit %d outside [0,%d)"
+             (Format.asprintf "%a" Gate.pp g)
+             q n))
+    (Gate.qubits g)
+
+let create num_qubits gates =
+  if num_qubits < 0 then invalid_arg "Circuit.create: negative qubit count";
+  List.iter (check_gate num_qubits) gates;
+  { num_qubits; gates }
+
+let empty n = create n []
+let num_qubits c = c.num_qubits
+let gates c = c.gates
+let length c = List.length c.gates
+
+let append c g =
+  check_gate c.num_qubits g;
+  { c with gates = c.gates @ [ g ] }
+
+let concat a b =
+  if a.num_qubits <> b.num_qubits then
+    invalid_arg "Circuit.concat: qubit count mismatch";
+  { a with gates = a.gates @ b.gates }
+
+let equal a b =
+  a.num_qubits = b.num_qubits
+  && List.length a.gates = List.length b.gates
+  && List.for_all2 Gate.equal a.gates b.gates
+
+let add_single c k q = append c (Gate.Single (k, q))
+
+let add_cnot c ~control ~target =
+  if control = target then invalid_arg "Circuit.add_cnot: control = target";
+  append c (Gate.Cnot (control, target))
+
+let add_swap c a b =
+  if a = b then invalid_arg "Circuit.add_swap: identical qubits";
+  append c (Gate.Swap (a, b))
+
+let cnots c =
+  List.filter_map
+    (function Gate.Cnot (ctl, tgt) -> Some (ctl, tgt) | _ -> None)
+    c.gates
+
+let without_singles c =
+  {
+    c with
+    gates = List.filter (function Gate.Cnot _ -> true | _ -> false) c.gates;
+  }
+
+let used_qubits c =
+  let seen = Array.make (max c.num_qubits 1) false in
+  List.iter
+    (fun g -> List.iter (fun q -> seen.(q) <- true) (Gate.qubits g))
+    c.gates;
+  List.filter (fun q -> seen.(q)) (List.init c.num_qubits Fun.id)
+
+let map_qubits f n c = create n (List.map (Gate.map_qubits f) c.gates)
+
+let count_singles c =
+  List.length (List.filter Gate.is_single c.gates)
+
+let count_cnots c = List.length (List.filter Gate.is_cnot c.gates)
+
+let count_swaps c =
+  List.length
+    (List.filter (function Gate.Swap _ -> true | _ -> false) c.gates)
+
+let original_cost c =
+  if count_swaps c > 0 then
+    invalid_arg "Circuit.original_cost: undecomposed SWAP gates present";
+  count_singles c + count_cnots c
+
+let interacting_pairs c =
+  let norm (a, b) = if a < b then (a, b) else (b, a) in
+  List.sort_uniq compare (List.map norm (cnots c))
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>circuit on %d qubits:@," c.num_qubits;
+  List.iter (fun g -> Format.fprintf fmt "  %a@," Gate.pp g) c.gates;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,58 @@
+(** Quantum circuits: a number of qubits and an ordered gate list (Def. 1).
+
+    Circuits are immutable; builders return new values.  Gate indices used
+    throughout the mapper are 1-based positions in {!cnots} (the paper
+    indexes CNOT gates g₁…g₍|G|₎ after dropping single-qubit gates,
+    cf. Fig. 1b). *)
+
+type t
+
+val create : int -> Gate.t list -> t
+(** [create n gates]. @raise Invalid_argument if a gate touches a qubit
+    outside [0, n). *)
+
+val empty : int -> t
+val num_qubits : t -> int
+val gates : t -> Gate.t list
+val length : t -> int
+(** Number of gates (barriers included). *)
+
+val append : t -> Gate.t -> t
+val concat : t -> t -> t
+(** Circuits must agree on qubit count. @raise Invalid_argument. *)
+
+val equal : t -> t -> bool
+
+(* Convenience builders *)
+val add_single : t -> Gate.single_kind -> int -> t
+val add_cnot : t -> control:int -> target:int -> t
+val add_swap : t -> int -> int -> t
+
+(* Views *)
+val cnots : t -> (int * int) list
+(** Control/target pairs of the CNOT gates, in order — the circuit
+    "without single qubit gates" of Fig. 1b. *)
+
+val without_singles : t -> t
+val used_qubits : t -> int list
+(** Ascending list of qubits touched by at least one gate. *)
+
+val map_qubits : (int -> int) -> int -> t -> t
+(** [map_qubits f n c] relabels qubits with [f] into a fresh [n]-qubit
+    circuit. *)
+
+(* Statistics *)
+val count_singles : t -> int
+val count_cnots : t -> int
+val count_swaps : t -> int
+
+val original_cost : t -> int
+(** Single-qubit gates plus CNOTs — the "original cost" column of
+    Table 1. @raise Invalid_argument if the circuit still contains SWAP
+    gates (decompose first). *)
+
+val interacting_pairs : t -> (int * int) list
+(** Distinct unordered qubit pairs that share at least one CNOT. *)
+
+val pp : Format.formatter -> t -> unit
+(** One gate per line; for diagrams use {!Draw}. *)

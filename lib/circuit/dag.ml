@@ -1,0 +1,86 @@
+type t = {
+  gates : Gate.t array;
+  preds : int list array;
+  succs : int list array;
+  asap : int array;
+}
+
+let qubits_of num_qubits g =
+  match g with
+  | Gate.Barrier _ -> List.init num_qubits Fun.id (* full fence *)
+  | _ -> Gate.qubits g
+
+let of_circuit circuit =
+  let gates = Array.of_list (Circuit.gates circuit) in
+  let n = Array.length gates in
+  let nq = Circuit.num_qubits circuit in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  let asap = Array.make n 0 in
+  let last_on = Array.make (max nq 1) (-1) in
+  Array.iteri
+    (fun i g ->
+      let qs = qubits_of nq g in
+      let ps =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun q -> if last_on.(q) >= 0 then Some last_on.(q) else None)
+             qs)
+      in
+      preds.(i) <- ps;
+      List.iter (fun p -> succs.(p) <- i :: succs.(p)) ps;
+      asap.(i) <-
+        List.fold_left (fun acc p -> max acc (asap.(p) + 1)) 0 ps;
+      List.iter (fun q -> last_on.(q) <- i) qs)
+    gates;
+  Array.iteri (fun i s -> succs.(i) <- List.sort_uniq compare s) succs;
+  { gates; preds; succs; asap }
+
+let num_gates t = Array.length t.gates
+
+let check t i =
+  if i < 0 || i >= num_gates t then invalid_arg "Dag: gate index"
+
+let gate t i =
+  check t i;
+  t.gates.(i)
+
+let predecessors t i =
+  check t i;
+  t.preds.(i)
+
+let successors t i =
+  check t i;
+  t.succs.(i)
+
+let asap_layer t i =
+  check t i;
+  t.asap.(i)
+
+let depth t =
+  Array.fold_left (fun acc l -> max acc (l + 1)) 0 t.asap
+
+let cnot_depth t =
+  (* longest chain of CNOTs: dynamic programming over the DAG *)
+  let n = num_gates t in
+  let best = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let here = if Gate.is_cnot t.gates.(i) then 1 else 0 in
+    let from_preds =
+      List.fold_left (fun acc p -> max acc best.(p)) 0 t.preds.(i)
+    in
+    best.(i) <- here + from_preds
+  done;
+  Array.fold_left max 0 best
+
+let layers t =
+  let d = depth t in
+  let buckets = Array.make (max d 1) [] in
+  Array.iteri (fun i l -> buckets.(l) <- i :: buckets.(l)) t.asap;
+  if d = 0 then []
+  else Array.to_list (Array.map List.rev buckets)
+
+let roots t =
+  let acc = ref [] in
+  Array.iteri (fun i ps -> if ps = [] then acc := i :: !acc) t.preds;
+  List.rev !acc

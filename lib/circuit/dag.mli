@@ -1,0 +1,35 @@
+(** Gate-dependency DAG of a circuit.
+
+    Two gates depend on each other iff they share a qubit (barriers fence
+    everything).  The DAG yields the circuit depth, as-soon-as-possible
+    layering — the parallel view heuristic mappers reason about — and the
+    front-layer iteration SABRE-style routers need. *)
+
+type t
+
+val of_circuit : Circuit.t -> t
+
+val num_gates : t -> int
+
+val gate : t -> int -> Gate.t
+
+val predecessors : t -> int -> int list
+(** Direct predecessors of gate [i] (indices into the original order). *)
+
+val successors : t -> int -> int list
+
+val asap_layer : t -> int -> int
+(** 0-based earliest layer of a gate. *)
+
+val depth : t -> int
+(** Number of ASAP layers (0 for an empty circuit). *)
+
+val cnot_depth : t -> int
+(** Depth counting only CNOT gates — the interaction depth that dominates
+    mapping difficulty. *)
+
+val layers : t -> int list list
+(** Gate indices grouped by ASAP layer, ascending. *)
+
+val roots : t -> int list
+(** Gates with no predecessor — the initial front layer. *)

@@ -1,0 +1,33 @@
+(** Decompositions used by the mapping step (Fig. 3 of the paper).
+
+    A SWAP on a coupled pair costs 7 elementary operations (3 CNOTs, one of
+    which must be direction-flipped with 4 Hadamards on a one-directional
+    edge); executing a CNOT against the edge direction costs 4 extra
+    Hadamards. *)
+
+val swap_cost : int
+(** 7 — elementary operations per inserted SWAP. *)
+
+val direction_cost : int
+(** 4 — Hadamard operations per direction-switched CNOT. *)
+
+val cnot_respecting :
+  allowed:(int -> int -> bool) -> control:int -> target:int -> Gate.t list
+(** Emit a CNOT with the given logical control/target using only coupling
+    directions permitted by [allowed ctrl tgt]; flips with 4 H when only
+    the reverse direction exists.
+    @raise Invalid_argument if the qubits are not coupled either way. *)
+
+val swap_gates : allowed:(int -> int -> bool) -> int -> int -> Gate.t list
+(** The 3-CNOT realization of SWAP, orienting each CNOT to the coupling.
+    On a one-directional edge this yields exactly 7 gates. *)
+
+val elementary : allowed:(int -> int -> bool) -> Circuit.t -> Circuit.t
+(** Replace every SWAP by {!swap_gates} and wrap every direction-violating
+    CNOT per {!cnot_respecting}; single-qubit gates pass through.  The
+    result uses only coupling-compliant CNOTs and single-qubit gates. *)
+
+val added_cost : original:Circuit.t -> mapped:Circuit.t -> int
+(** Elementary-gate overhead of a mapped circuit over the original: the
+    paper's F (Eq. 5) evaluated on concrete circuits. SWAPs in [mapped]
+    count as {!swap_cost}. *)

@@ -1,0 +1,114 @@
+(* Slot assignment: each gate goes into the earliest column after the last
+   column used by any qubit in its span (inclusive: CNOT connectors occupy
+   the intermediate lines too). *)
+
+let gate_span g =
+  match Gate.qubits g with
+  | [] -> None
+  | qs -> Some (List.fold_left min max_int qs, List.fold_left max (-1) qs)
+
+let assign_slots circuit =
+  let n = Circuit.num_qubits circuit in
+  let busy_until = Array.make (max n 1) (-1) in
+  List.map
+    (fun g ->
+      match gate_span g with
+      | None -> (g, 0)
+      | Some (lo, hi) ->
+          let slot = ref (-1) in
+          for q = lo to hi do
+            slot := max !slot busy_until.(q)
+          done;
+          let slot = !slot + 1 in
+          for q = lo to hi do
+            busy_until.(q) <- slot
+          done;
+          (g, slot))
+    (Circuit.gates circuit)
+
+let label_of_kind k =
+  match k with
+  | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.U _ ->
+      "[" ^ String.uppercase_ascii (Gate.single_kind_name k) ^ "]"
+  | _ -> "[" ^ String.uppercase_ascii (Gate.single_kind_name k) ^ "]"
+
+let render ?labels circuit =
+  let n = Circuit.num_qubits circuit in
+  let slotted = assign_slots circuit in
+  let nslots =
+    List.fold_left (fun acc (_, s) -> max acc (s + 1)) 0 slotted
+  in
+  (* cell width per slot *)
+  let widths = Array.make (max nslots 1) 3 in
+  let cell_text g q =
+    match g with
+    | Gate.Single (k, t) when t = q -> Some (label_of_kind k)
+    | Gate.Cnot (c, _) when c = q -> Some "*"
+    | Gate.Cnot (_, t) when t = q -> Some "(+)"
+    | Gate.Swap (a, b) when a = q || b = q -> Some "x"
+    | Gate.Barrier qs when List.mem q qs -> Some "|"
+    | _ -> None
+  in
+  List.iter
+    (fun (g, s) ->
+      List.iter
+        (fun q ->
+          match cell_text g q with
+          | Some txt -> widths.(s) <- max widths.(s) (String.length txt)
+          | None -> ())
+        (Gate.qubits g))
+    slotted;
+  let labels =
+    match labels with
+    | Some l ->
+        if Array.length l <> n then invalid_arg "Draw.render: labels length";
+        l
+    | None -> Array.init n (fun q -> Printf.sprintf "q%d:" q)
+  in
+  let label_w =
+    Array.fold_left (fun acc l -> max acc (String.length l)) 0 labels
+  in
+  let buf = Buffer.create 1024 in
+  for q = 0 to n - 1 do
+    Buffer.add_string buf labels.(q);
+    Buffer.add_string buf (String.make (label_w - String.length labels.(q)) ' ');
+    Buffer.add_string buf " -";
+    for s = 0 to nslots - 1 do
+      let w = widths.(s) in
+      let here =
+        List.find_opt (fun (g, s') -> s' = s && List.mem q (Gate.qubits g))
+          slotted
+      in
+      let connector =
+        List.exists
+          (fun (g, s') ->
+            s' = s
+            &&
+            match gate_span g with
+            | Some (lo, hi) ->
+                (match g with
+                | Gate.Cnot _ | Gate.Swap _ -> lo < q && q < hi
+                | _ -> false)
+            | None -> false)
+          slotted
+      in
+      let txt =
+        match here with
+        | Some (g, _) -> (
+            match cell_text g q with Some t -> t | None -> "-")
+        | None -> if connector then "|" else "-"
+      in
+      (* center the cell text in the slot; connector cells break the wire *)
+      let pad_total = w - String.length txt in
+      let pad_l = pad_total / 2 and pad_r = pad_total - (pad_total / 2) in
+      let fill = if txt = "|" then ' ' else '-' in
+      Buffer.add_string buf (String.make pad_l fill);
+      Buffer.add_string buf txt;
+      Buffer.add_string buf (String.make pad_r fill);
+      Buffer.add_string buf "-"
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let print ?labels circuit = print_string (render ?labels circuit)

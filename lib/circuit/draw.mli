@@ -1,0 +1,14 @@
+(** ASCII circuit diagrams in the style of the paper's figures.
+
+    Qubits are horizontal lines (top to bottom), gates advance left to
+    right; gates on disjoint qubits share a column.  Single-qubit gates
+    render as [[H]], CNOT controls as [*], targets as [(+)], SWaps as
+    [x--x]. *)
+
+val render : ?labels:string array -> Circuit.t -> string
+(** Multi-line diagram.  [labels] overrides the per-qubit line labels
+    (default ["q0:"], ["q1:"], …); useful for showing physical qubits with
+    their mapped logical qubit, as in Fig. 5. *)
+
+val print : ?labels:string array -> Circuit.t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,19 @@
+let check ?(max_qubits = 10) ~allowed ~original ~mapped ~init_full
+    ~final_full () =
+  let m = Circuit.num_qubits mapped in
+  if m > max_qubits then None
+  else begin
+    let extended =
+      Circuit.create m (Circuit.gates original)
+    in
+    let elementary = Decompose.elementary ~allowed mapped in
+    let u_mapped = Unitary.unitary elementary in
+    let u_orig = Unitary.unitary extended in
+    let p_init = Unitary.permutation_matrix m (fun w -> init_full.(w)) in
+    let p_final = Unitary.permutation_matrix m (fun w -> final_full.(w)) in
+    let expected =
+      Unitary.mat_mul p_final
+        (Unitary.mat_mul u_orig (Unitary.mat_dagger p_init))
+    in
+    Some (Unitary.equal_strict ~eps:1e-7 u_mapped expected)
+  end

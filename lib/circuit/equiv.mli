@@ -1,0 +1,23 @@
+(** Equivalence proof for mapped circuits.
+
+    A mapped circuit is correct iff, as an operator on the device's
+    physical qubits, it equals  P_final · (U_original ⊗ I) · P_init†,
+    where P_σ places wire [w] on physical qubit [σ(w)] and the identity
+    acts on the idle extra wires.  All constructions used by the mappers
+    (3-CNOT SWaps, 4-H direction flips) are phase-exact, so the comparison
+    is strict. *)
+
+val check :
+  ?max_qubits:int ->
+  allowed:(int -> int -> bool) ->
+  original:Circuit.t ->
+  mapped:Circuit.t ->
+  init_full:int array ->
+  final_full:int array ->
+  unit ->
+  bool option
+(** [mapped] may still contain SWAP gates; it is decomposed against
+    [allowed] first.  [init_full]/[final_full] give wire → physical for
+    every wire of the device (idle extras included).  Returns [None] when
+    the device exceeds [max_qubits] (default 10) and simulation would be
+    unreasonable. *)

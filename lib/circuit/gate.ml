@@ -1,0 +1,151 @@
+type single_kind =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U of float * float * float
+
+type t =
+  | Single of single_kind * int
+  | Cnot of int * int
+  | Swap of int * int
+  | Barrier of int list
+
+let single_kind_name = function
+  | I -> "id"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | H -> "h"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rx _ -> "rx"
+  | Ry _ -> "ry"
+  | Rz _ -> "rz"
+  | U _ -> "u3"
+
+let qubits = function
+  | Single (_, q) -> [ q ]
+  | Cnot (c, t) -> [ c; t ]
+  | Swap (a, b) -> [ a; b ]
+  | Barrier qs -> qs
+
+let max_qubit g = List.fold_left max (-1) (qubits g)
+let is_cnot = function Cnot _ -> true | _ -> false
+let is_single = function Single _ -> true | _ -> false
+
+let map_qubits f = function
+  | Single (k, q) -> Single (k, f q)
+  | Cnot (c, t) ->
+      let c = f c and t = f t in
+      if c = t then invalid_arg "Gate.map_qubits: CNOT on a single qubit";
+      Cnot (c, t)
+  | Swap (a, b) ->
+      let a = f a and b = f b in
+      if a = b then invalid_arg "Gate.map_qubits: SWAP on a single qubit";
+      Swap (a, b)
+  | Barrier qs -> Barrier (List.map f qs)
+
+let equal_kind a b =
+  match (a, b) with
+  | Rx x, Rx y | Ry x, Ry y | Rz x, Rz y -> Float.equal x y
+  | U (a1, a2, a3), U (b1, b2, b3) ->
+      Float.equal a1 b1 && Float.equal a2 b2 && Float.equal a3 b3
+  | a, b -> a = b
+
+let equal g1 g2 =
+  match (g1, g2) with
+  | Single (k1, q1), Single (k2, q2) -> equal_kind k1 k2 && q1 = q2
+  | Cnot (c1, t1), Cnot (c2, t2) -> c1 = c2 && t1 = t2
+  | Swap (a1, b1), Swap (a2, b2) -> a1 = a2 && b1 = b2
+  | Barrier q1, Barrier q2 -> q1 = q2
+  | _ -> false
+
+let pp fmt = function
+  | Single ((Rx a | Ry a | Rz a) as k, q) ->
+      Format.fprintf fmt "%s(%g) q%d" (single_kind_name k) a q
+  | Single (U (t, p, l), q) ->
+      Format.fprintf fmt "u3(%g,%g,%g) q%d" t p l q
+  | Single (k, q) -> Format.fprintf fmt "%s q%d" (single_kind_name k) q
+  | Cnot (c, t) -> Format.fprintf fmt "cx q%d, q%d" c t
+  | Swap (a, b) -> Format.fprintf fmt "swap q%d, q%d" a b
+  | Barrier qs ->
+      Format.fprintf fmt "barrier %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+           (fun f q -> Format.fprintf f "q%d" q))
+        qs
+
+open Complex
+
+let c re im = { re; im }
+let half_angle theta = theta /. 2.0
+
+(* u3(θ,φ,λ) in the OpenQASM convention. *)
+let u3_matrix theta phi lambda =
+  let ht = half_angle theta in
+  let cos_ht = Stdlib.cos ht and sin_ht = Stdlib.sin ht in
+  let e x = c (Stdlib.cos x) (Stdlib.sin x) in
+  [|
+    [| c cos_ht 0.0; neg (mul (e lambda) (c sin_ht 0.0)) |];
+    [| mul (e phi) (c sin_ht 0.0); mul (e (phi +. lambda)) (c cos_ht 0.0) |];
+  |]
+
+let single_matrix kind =
+  let s2 = 1.0 /. Stdlib.sqrt 2.0 in
+  match kind with
+  | I -> [| [| one; zero |]; [| zero; one |] |]
+  | X -> [| [| zero; one |]; [| one; zero |] |]
+  | Y -> [| [| zero; c 0.0 (-1.0) |]; [| c 0.0 1.0; zero |] |]
+  | Z -> [| [| one; zero |]; [| zero; c (-1.0) 0.0 |] |]
+  | H -> [| [| c s2 0.0; c s2 0.0 |]; [| c s2 0.0; c (-.s2) 0.0 |] |]
+  | S -> [| [| one; zero |]; [| zero; c 0.0 1.0 |] |]
+  | Sdg -> [| [| one; zero |]; [| zero; c 0.0 (-1.0) |] |]
+  | T -> [| [| one; zero |]; [| zero; c s2 s2 |] |]
+  | Tdg -> [| [| one; zero |]; [| zero; c s2 (-.s2) |] |]
+  | Rx t ->
+      let h = half_angle t in
+      [|
+        [| c (Stdlib.cos h) 0.0; c 0.0 (-.Stdlib.sin h) |];
+        [| c 0.0 (-.Stdlib.sin h); c (Stdlib.cos h) 0.0 |];
+      |]
+  | Ry t ->
+      let h = half_angle t in
+      [|
+        [| c (Stdlib.cos h) 0.0; c (-.Stdlib.sin h) 0.0 |];
+        [| c (Stdlib.sin h) 0.0; c (Stdlib.cos h) 0.0 |];
+      |]
+  | Rz t ->
+      let h = half_angle t in
+      [|
+        [| c (Stdlib.cos h) (-.Stdlib.sin h); zero |];
+        [| zero; c (Stdlib.cos h) (Stdlib.sin h) |];
+      |]
+  | U (t, p, l) -> u3_matrix t p l
+
+let pi = 4.0 *. atan 1.0
+
+let u_params = function
+  | I -> (0.0, 0.0, 0.0)
+  | X -> (pi, 0.0, pi)
+  | Y -> (pi, pi /. 2.0, pi /. 2.0)
+  | Z -> (0.0, 0.0, pi)
+  | H -> (pi /. 2.0, 0.0, pi)
+  | S -> (0.0, 0.0, pi /. 2.0)
+  | Sdg -> (0.0, 0.0, -.pi /. 2.0)
+  | T -> (0.0, 0.0, pi /. 4.0)
+  | Tdg -> (0.0, 0.0, -.pi /. 4.0)
+  | Rx t -> (t, -.pi /. 2.0, pi /. 2.0)
+  | Ry t -> (t, 0.0, 0.0)
+  | Rz t -> (0.0, 0.0, t)
+  | U (t, p, l) -> (t, p, l)

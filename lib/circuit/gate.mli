@@ -1,0 +1,56 @@
+(** Quantum gates (Def. 1 of the paper).
+
+    A gate is either a single-qubit operation — the IBM QX architectures
+    natively provide the universal U(θ,φ,λ) rotation, of which the named
+    gates are special cases — or a CNOT.  SWAP is kept as a first-class
+    gate so mapped circuits can be inspected before decomposition; the
+    mapping cost model always counts it as 7 elementary operations
+    (Fig. 3). *)
+
+type single_kind =
+  | I
+  | X
+  | Y
+  | Z
+  | H
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U of float * float * float  (** θ, φ, λ: Rz(φ)·Ry(θ)·Rz(λ) *)
+
+type t =
+  | Single of single_kind * int  (** kind, target qubit *)
+  | Cnot of int * int  (** control, target *)
+  | Swap of int * int
+  | Barrier of int list
+      (** No-op separator; kept for QASM round-trips, ignored by costs. *)
+
+val single_kind_name : single_kind -> string
+(** Lower-case OpenQASM-style mnemonic, e.g. ["tdg"], ["u3"]. *)
+
+val qubits : t -> int list
+(** Qubits the gate touches, in declaration order. *)
+
+val max_qubit : t -> int
+(** Largest qubit index used, [-1] for an empty barrier. *)
+
+val is_cnot : t -> bool
+val is_single : t -> bool
+
+val map_qubits : (int -> int) -> t -> t
+(** Relabel qubit indices. @raise Invalid_argument if a CNOT or SWAP would
+    end up with identical operands. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val single_matrix : single_kind -> Complex.t array array
+(** 2×2 unitary of a single-qubit gate. *)
+
+val u_params : single_kind -> float * float * float
+(** (θ, φ, λ) such that U(θ,φ,λ) equals the gate up to global phase —
+    what the QASM emitter uses for hardware-native output. *)

@@ -1,0 +1,43 @@
+module IntSet = Set.Make (Int)
+
+let of_pairs pairs =
+  let rec go layer used acc = function
+    | [] -> List.rev acc
+    | (c, t) :: rest ->
+        if IntSet.mem c used || IntSet.mem t used then
+          go (layer + 1) (IntSet.of_list [ c; t ]) ((layer + 1) :: acc) rest
+        else
+          go layer
+            (IntSet.add c (IntSet.add t used))
+            (layer :: acc) rest
+  in
+  go 0 IntSet.empty [] pairs
+
+let of_circuit c = of_pairs (Circuit.cnots c)
+
+let starts layers =
+  let rec go pos prev acc = function
+    | [] -> List.rev acc
+    | l :: rest ->
+        let acc = if pos > 0 && l <> prev then pos :: acc else acc in
+        go (pos + 1) l acc rest
+  in
+  go 0 (-1) [] layers
+
+let count layers =
+  match layers with [] -> 0 | _ -> List.fold_left max 0 layers + 1
+
+let bounded_qubit_runs ~k pairs =
+  if k < 2 then invalid_arg "Layers.bounded_qubit_runs: k < 2";
+  let rec go run used acc = function
+    | [] -> List.rev acc
+    | (c, t) :: rest ->
+        let extended = IntSet.add c (IntSet.add t used) in
+        if IntSet.cardinal extended <= k then
+          go run extended (run :: acc) rest
+        else
+          go (run + 1) (IntSet.of_list [ c; t ]) ((run + 1) :: acc) rest
+  in
+  go 0 IntSet.empty [] pairs
+
+let run_starts_bounded ~k pairs = starts (bounded_qubit_runs ~k pairs)

@@ -1,0 +1,31 @@
+(** Clustering a gate sequence into maximal runs on disjoint qubit sets.
+
+    The paper's *disjoint qubits* strategy (Sec. 4.2) allows mapping
+    permutations only between such runs: gates inside a run touch pairwise
+    disjoint qubits, so a single placement serves the whole run.  The same
+    layering drives the layer-by-layer heuristic baseline. *)
+
+val of_pairs : (int * int) list -> int list
+(** [of_pairs cnots] assigns a 0-based layer index to each CNOT (given as
+    control/target pairs, in circuit order).  A new layer starts exactly
+    when a gate shares a qubit with the current layer.  Indices are
+    non-decreasing and start at 0; the empty list yields []. *)
+
+val of_circuit : Circuit.t -> int list
+(** Layer index per CNOT of the circuit ({!Circuit.cnots} order). *)
+
+val starts : int list -> int list
+(** 0-based gate positions at which a new layer begins (position 0
+    excluded) — i.e. the positions the disjoint-qubits strategy allows a
+    permutation before. *)
+
+val count : int list -> int
+(** Number of distinct layers. *)
+
+(** Clustering into runs touching at most [k] distinct qubits — the *qubit
+    triangle* strategy uses [k = 3] (any 3 interacting qubits fit one of
+    the architecture's triangles). *)
+val bounded_qubit_runs : k:int -> (int * int) list -> int list
+
+val run_starts_bounded : k:int -> (int * int) list -> int list
+(** [starts] of {!bounded_qubit_runs}. *)

@@ -1,0 +1,101 @@
+let eps = 1e-12
+
+type action = Cancel | Replace of Gate.t | Keep
+
+let norm_angle a =
+  (* reduce mod 2π into (-π, π] to recognize full turns *)
+  let two_pi = 2.0 *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi
+  else if a <= -.Float.pi then a +. two_pi
+  else a
+
+let fuse_rotation make a b q =
+  let total = norm_angle (a +. b) in
+  if Float.abs total < eps then Cancel else Replace (Gate.Single (make total, q))
+
+(* What happens when [g2] immediately follows [g1] on the same qubits? *)
+let combine g1 g2 =
+  match (g1, g2) with
+  | Gate.Single (k1, q1), Gate.Single (k2, q2) when q1 = q2 -> (
+      match (k1, k2) with
+      | Gate.H, Gate.H
+      | Gate.X, Gate.X
+      | Gate.Y, Gate.Y
+      | Gate.Z, Gate.Z
+      | Gate.S, Gate.Sdg
+      | Gate.Sdg, Gate.S
+      | Gate.T, Gate.Tdg
+      | Gate.Tdg, Gate.T ->
+          Cancel
+      | Gate.T, Gate.T -> Replace (Gate.Single (Gate.S, q1))
+      | Gate.Tdg, Gate.Tdg -> Replace (Gate.Single (Gate.Sdg, q1))
+      | Gate.S, Gate.S | Gate.Sdg, Gate.Sdg ->
+          Replace (Gate.Single (Gate.Z, q1))
+      | Gate.Rz a, Gate.Rz b -> fuse_rotation (fun t -> Gate.Rz t) a b q1
+      | Gate.Rx a, Gate.Rx b -> fuse_rotation (fun t -> Gate.Rx t) a b q1
+      | Gate.Ry a, Gate.Ry b -> fuse_rotation (fun t -> Gate.Ry t) a b q1
+      | Gate.U (0.0, 0.0, a), Gate.U (0.0, 0.0, b) ->
+          fuse_rotation (fun t -> Gate.U (0.0, 0.0, t)) a b q1
+      | _ -> Keep)
+  | Gate.Cnot (c1, t1), Gate.Cnot (c2, t2) when c1 = c2 && t1 = t2 -> Cancel
+  | Gate.Swap (a1, b1), Gate.Swap (a2, b2)
+    when (a1, b1) = (a2, b2) || (a1, b1) = (b2, a2) ->
+      Cancel
+  | _ -> Keep
+
+let is_identity = function
+  | Gate.Single (Gate.I, _) -> true
+  | Gate.Single ((Gate.Rx a | Gate.Ry a | Gate.Rz a), _) ->
+      Float.abs (norm_angle a) < eps
+  | Gate.Single (Gate.U (t, p, l), _) ->
+      Float.abs (norm_angle t) < eps
+      && Float.abs (norm_angle (p +. l)) < eps
+  | _ -> false
+
+let overlaps g1 g2 =
+  (* barriers act as full-width fences *)
+  match (g1, g2) with
+  | Gate.Barrier _, _ | _, Gate.Barrier _ -> true
+  | _ ->
+      List.exists (fun q -> List.mem q (Gate.qubits g2)) (Gate.qubits g1)
+
+(* For gate [g], find the next gate in [rest] touching any of its qubits
+   and try to combine; gates on disjoint qubits are skipped over (they
+   commute, so reordering across them is exact). *)
+let rec try_combine g rest =
+  match rest with
+  | [] -> None
+  | g' :: tail when not (overlaps g g') -> (
+      match try_combine g tail with
+      | Some (`Drop tail') -> Some (`Drop (g' :: tail'))
+      | Some (`Merge (m, tail')) -> Some (`Merge (m, g' :: tail'))
+      | None -> None)
+  | g' :: tail -> (
+      match combine g g' with
+      | Cancel -> Some (`Drop tail)
+      | Replace merged -> Some (`Merge (merged, tail))
+      | Keep -> None)
+
+let pass circuit =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | g :: rest when is_identity g -> go acc rest
+    | g :: rest -> (
+        match try_combine g rest with
+        | Some (`Drop rest') -> go acc rest'
+        | Some (`Merge (merged, rest')) -> go acc (merged :: rest')
+        | None -> go (g :: acc) rest)
+  in
+  Circuit.create (Circuit.num_qubits circuit) (go [] (Circuit.gates circuit))
+
+let optimize ?(max_rounds = 50) circuit =
+  let rec fix round c =
+    if round >= max_rounds then c
+    else
+      let c' = pass c in
+      if Circuit.equal c c' then c else fix (round + 1) c'
+  in
+  fix 0 circuit
+
+let gates_saved ~before ~after = Circuit.length before - Circuit.length after

@@ -1,0 +1,20 @@
+(** Peephole circuit optimization.
+
+    The paper deliberately excludes pre-/post-mapping gate optimization
+    from its exact formulation (footnote 2, citing [12, 23]); this module
+    provides that surrounding pass as an optional extension: cancellation
+    of adjacent self-inverse pairs (H·H, X·X, CX·CX, SWAP·SWAP, T·T†, …),
+    fusion of adjacent rotations about the same axis, and phase-gate
+    strength reduction (T·T → S, S·S → Z).  "Adjacent" ignores gates on
+    disjoint qubits, which always commute; no stronger commutation rules
+    are used, so every rewrite preserves the unitary exactly (the test
+    suite proves it by simulation). *)
+
+val optimize : ?max_rounds:int -> Circuit.t -> Circuit.t
+(** Run cancellation/fusion to a fixpoint (at most [max_rounds] passes,
+    default 50).  Barriers block optimization across them. *)
+
+val pass : Circuit.t -> Circuit.t
+(** A single pass. *)
+
+val gates_saved : before:Circuit.t -> after:Circuit.t -> int

@@ -1,0 +1,471 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Str of string
+  | Punct of char (* ; , ( ) [ ] { } *)
+  | Op of char (* + - * / ^ *)
+  | Arrow (* -> *)
+  | Eof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+  mutable tok_line : int;
+}
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws lx =
+  if lx.pos < String.length lx.src then begin
+    match lx.src.[lx.pos] with
+    | ' ' | '\t' | '\r' ->
+        lx.pos <- lx.pos + 1;
+        skip_ws lx
+    | '\n' ->
+        lx.pos <- lx.pos + 1;
+        lx.line <- lx.line + 1;
+        skip_ws lx
+    | '/'
+      when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+        while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
+          lx.pos <- lx.pos + 1
+        done;
+        skip_ws lx
+    | _ -> ()
+  end
+
+let lex_token lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  if lx.pos >= String.length lx.src then lx.tok <- Eof
+  else begin
+    let c = lx.src.[lx.pos] in
+    if is_ident_start c then begin
+      let start = lx.pos in
+      while lx.pos < String.length lx.src && is_ident lx.src.[lx.pos] do
+        lx.pos <- lx.pos + 1
+      done;
+      lx.tok <- Ident (String.sub lx.src start (lx.pos - start))
+    end
+    else if is_digit c || (c = '.' && lx.pos + 1 < String.length lx.src
+                           && is_digit lx.src.[lx.pos + 1]) then begin
+      let start = lx.pos in
+      let seen_e = ref false in
+      let continue = ref true in
+      while !continue && lx.pos < String.length lx.src do
+        let c = lx.src.[lx.pos] in
+        if is_digit c || c = '.' then lx.pos <- lx.pos + 1
+        else if (c = 'e' || c = 'E') && not !seen_e then begin
+          seen_e := true;
+          lx.pos <- lx.pos + 1;
+          if
+            lx.pos < String.length lx.src
+            && (lx.src.[lx.pos] = '+' || lx.src.[lx.pos] = '-')
+          then lx.pos <- lx.pos + 1
+        end
+        else continue := false
+      done;
+      let text = String.sub lx.src start (lx.pos - start) in
+      match float_of_string_opt text with
+      | Some f -> lx.tok <- Number f
+      | None -> fail lx.line "bad number %S" text
+    end
+    else if c = '"' then begin
+      let start = lx.pos + 1 in
+      let e = ref start in
+      while !e < String.length lx.src && lx.src.[!e] <> '"' do
+        incr e
+      done;
+      if !e >= String.length lx.src then fail lx.line "unterminated string";
+      lx.tok <- Str (String.sub lx.src start (!e - start));
+      lx.pos <- !e + 1
+    end
+    else if c = '-' && lx.pos + 1 < String.length lx.src
+            && lx.src.[lx.pos + 1] = '>' then begin
+      lx.pos <- lx.pos + 2;
+      lx.tok <- Arrow
+    end
+    else begin
+      lx.pos <- lx.pos + 1;
+      match c with
+      | ';' | ',' | '(' | ')' | '[' | ']' | '{' | '}' -> lx.tok <- Punct c
+      | '+' | '-' | '*' | '/' | '^' -> lx.tok <- Op c
+      | '=' when lx.pos < String.length lx.src && lx.src.[lx.pos] = '=' ->
+          lx.pos <- lx.pos + 1;
+          lx.tok <- Op '='
+      | _ -> fail lx.line "unexpected character %C" c
+    end
+  end
+
+let make_lexer src =
+  let lx = { src; pos = 0; line = 1; tok = Eof; tok_line = 1 } in
+  lex_token lx;
+  lx
+
+let advance = lex_token
+
+let expect_punct lx c =
+  match lx.tok with
+  | Punct c' when c = c' -> advance lx
+  | _ -> fail lx.tok_line "expected %C" c
+
+let expect_ident lx =
+  match lx.tok with
+  | Ident s ->
+      advance lx;
+      s
+  | _ -> fail lx.tok_line "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Parameter expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr lx = parse_add lx
+
+and parse_add lx =
+  let lhs = ref (parse_mul lx) in
+  let continue = ref true in
+  while !continue do
+    match lx.tok with
+    | Op '+' ->
+        advance lx;
+        lhs := !lhs +. parse_mul lx
+    | Op '-' ->
+        advance lx;
+        lhs := !lhs -. parse_mul lx
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul lx =
+  let lhs = ref (parse_pow lx) in
+  let continue = ref true in
+  while !continue do
+    match lx.tok with
+    | Op '*' ->
+        advance lx;
+        lhs := !lhs *. parse_pow lx
+    | Op '/' ->
+        advance lx;
+        lhs := !lhs /. parse_pow lx
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_pow lx =
+  let base = parse_atom lx in
+  match lx.tok with
+  | Op '^' ->
+      advance lx;
+      Float.pow base (parse_pow lx)
+  | _ -> base
+
+and parse_atom lx =
+  match lx.tok with
+  | Number f ->
+      advance lx;
+      f
+  | Ident "pi" ->
+      advance lx;
+      Float.pi
+  | Ident ("sin" | "cos" | "tan" | "exp" | "ln" | "sqrt" as fn) ->
+      advance lx;
+      expect_punct lx '(';
+      let v = parse_expr lx in
+      expect_punct lx ')';
+      (match fn with
+      | "sin" -> sin v
+      | "cos" -> cos v
+      | "tan" -> tan v
+      | "exp" -> exp v
+      | "ln" -> log v
+      | _ -> sqrt v)
+  | Op '-' ->
+      advance lx;
+      -.parse_atom lx
+  | Op '+' ->
+      advance lx;
+      parse_atom lx
+  | Punct '(' ->
+      advance lx;
+      let v = parse_expr lx in
+      expect_punct lx ')';
+      v
+  | _ -> fail lx.tok_line "expected parameter expression"
+
+(* ------------------------------------------------------------------ *)
+(* Program parser                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type reg = { offset : int; size : int }
+
+type env = {
+  mutable qregs : (string * reg) list;
+  mutable total : int;
+  mutable rev_gates : Gate.t list;
+}
+
+(* A qubit argument [name[idx]] resolved to flat indices; a bare register
+   name denotes the whole register (QASM broadcasting). *)
+let parse_qarg lx env =
+  let name = expect_ident lx in
+  match List.assoc_opt name env.qregs with
+  | None -> fail lx.tok_line "unknown quantum register %s" name
+  | Some reg -> (
+      match lx.tok with
+      | Punct '[' ->
+          advance lx;
+          let idx =
+            match lx.tok with
+            | Number f when Float.is_integer f ->
+                advance lx;
+                int_of_float f
+            | _ -> fail lx.tok_line "expected qubit index"
+          in
+          expect_punct lx ']';
+          if idx < 0 || idx >= reg.size then
+            fail lx.tok_line "index %d out of range for %s[%d]" idx name
+              reg.size;
+          [ reg.offset + idx ]
+      | _ -> List.init reg.size (fun i -> reg.offset + i))
+
+let parse_params lx =
+  match lx.tok with
+  | Punct '(' ->
+      advance lx;
+      let rec go acc =
+        let v = parse_expr lx in
+        match lx.tok with
+        | Punct ',' ->
+            advance lx;
+            go (v :: acc)
+        | Punct ')' ->
+            advance lx;
+            List.rev (v :: acc)
+        | _ -> fail lx.tok_line "expected , or ) in parameter list"
+      in
+      go []
+  | _ -> []
+
+let single_of_name line name params =
+  match (name, params) with
+  | "id", [] -> Gate.I
+  | "x", [] -> Gate.X
+  | "y", [] -> Gate.Y
+  | "z", [] -> Gate.Z
+  | "h", [] -> Gate.H
+  | "s", [] -> Gate.S
+  | "sdg", [] -> Gate.Sdg
+  | "t", [] -> Gate.T
+  | "tdg", [] -> Gate.Tdg
+  | "rx", [ a ] -> Gate.Rx a
+  | "ry", [ a ] -> Gate.Ry a
+  | "rz", [ a ] -> Gate.Rz a
+  | "u1", [ l ] -> Gate.U (0.0, 0.0, l)
+  | "u2", [ p; l ] -> Gate.U (Float.pi /. 2.0, p, l)
+  | ("u3" | "u" | "U"), [ t; p; l ] -> Gate.U (t, p, l)
+  | _ ->
+      fail line "gate %s with %d parameter(s) is not supported" name
+        (List.length params)
+
+let emit env g = env.rev_gates <- g :: env.rev_gates
+
+let rec zip_broadcast line f args =
+  (* QASM broadcasting: all multi-qubit args must have equal length. *)
+  match args with
+  | [] -> ()
+  | _ ->
+      let lens = List.map List.length args in
+      let n = List.fold_left max 1 lens in
+      List.iter
+        (fun l -> if l <> 1 && l <> n then fail line "register size mismatch")
+        lens;
+      for i = 0 to n - 1 do
+        let pick arg = match arg with [ q ] -> q | qs -> List.nth qs i in
+        f (List.map pick args)
+      done
+
+and parse_statement lx env =
+  match lx.tok with
+  | Eof -> false
+  | Ident "OPENQASM" ->
+      advance lx;
+      (match lx.tok with
+      | Number _ -> advance lx
+      | _ -> fail lx.tok_line "expected version number");
+      expect_punct lx ';';
+      true
+  | Ident "include" ->
+      advance lx;
+      (match lx.tok with
+      | Str _ -> advance lx
+      | _ -> fail lx.tok_line "expected file name");
+      expect_punct lx ';';
+      true
+  | Ident "qreg" ->
+      advance lx;
+      let name = expect_ident lx in
+      expect_punct lx '[';
+      let size =
+        match lx.tok with
+        | Number f when Float.is_integer f && f > 0.0 ->
+            advance lx;
+            int_of_float f
+        | _ -> fail lx.tok_line "expected register size"
+      in
+      expect_punct lx ']';
+      expect_punct lx ';';
+      if List.mem_assoc name env.qregs then
+        fail lx.tok_line "duplicate register %s" name;
+      env.qregs <- env.qregs @ [ (name, { offset = env.total; size }) ];
+      env.total <- env.total + size;
+      true
+  | Ident "creg" ->
+      advance lx;
+      let _ = expect_ident lx in
+      expect_punct lx '[';
+      (match lx.tok with Number _ -> advance lx | _ -> fail lx.tok_line "size");
+      expect_punct lx ']';
+      expect_punct lx ';';
+      true
+  | Ident "measure" ->
+      (* measurement is outside the mapping problem; skip to ';' *)
+      let rec skip () =
+        match lx.tok with
+        | Punct ';' ->
+            advance lx;
+            true
+        | Eof -> fail lx.tok_line "unterminated measure"
+        | _ ->
+            advance lx;
+            skip ()
+      in
+      advance lx;
+      skip ()
+  | Ident "barrier" ->
+      advance lx;
+      let rec args acc =
+        let a = parse_qarg lx env in
+        match lx.tok with
+        | Punct ',' ->
+            advance lx;
+            args (a :: acc)
+        | _ -> List.rev (a :: acc)
+      in
+      let qs = List.concat (args []) in
+      expect_punct lx ';';
+      emit env (Gate.Barrier qs);
+      true
+  | Ident "cx" | Ident "CX" ->
+      advance lx;
+      let line = lx.tok_line in
+      let a = parse_qarg lx env in
+      expect_punct lx ',';
+      let b = parse_qarg lx env in
+      expect_punct lx ';';
+      zip_broadcast line
+        (fun qs ->
+          match qs with
+          | [ c; t ] ->
+              if c = t then fail line "cx with identical qubits";
+              emit env (Gate.Cnot (c, t))
+          | _ -> assert false)
+        [ a; b ];
+      true
+  | Ident "swap" ->
+      advance lx;
+      let line = lx.tok_line in
+      let a = parse_qarg lx env in
+      expect_punct lx ',';
+      let b = parse_qarg lx env in
+      expect_punct lx ';';
+      zip_broadcast line
+        (fun qs ->
+          match qs with
+          | [ x; y ] ->
+              if x = y then fail line "swap with identical qubits";
+              emit env (Gate.Swap (x, y))
+          | _ -> assert false)
+        [ a; b ];
+      true
+  | Ident name ->
+      advance lx;
+      let line = lx.tok_line in
+      let params = parse_params lx in
+      let kind = single_of_name line name params in
+      let a = parse_qarg lx env in
+      expect_punct lx ';';
+      List.iter (fun q -> emit env (Gate.Single (kind, q))) a;
+      true
+  | _ -> fail lx.tok_line "unexpected token"
+
+let parse_string src =
+  let lx = make_lexer src in
+  let env = { qregs = []; total = 0; rev_gates = [] } in
+  while parse_statement lx env do
+    ()
+  done;
+  Circuit.create env.total (List.rev env.rev_gates)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let to_string ?(creg = false) circuit =
+  let buf = Buffer.create 256 in
+  let n = Circuit.num_qubits circuit in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" n);
+  if creg then Buffer.add_string buf (Printf.sprintf "creg c[%d];\n" n);
+  List.iter
+    (fun g ->
+      let line =
+        match g with
+        | Gate.Single ((Gate.Rx a | Gate.Ry a | Gate.Rz a) as k, q) ->
+            Printf.sprintf "%s(%.17g) q[%d];" (Gate.single_kind_name k) a q
+        | Gate.Single (Gate.U (t, p, l), q) ->
+            Printf.sprintf "u3(%.17g,%.17g,%.17g) q[%d];" t p l q
+        | Gate.Single (k, q) ->
+            Printf.sprintf "%s q[%d];" (Gate.single_kind_name k) q
+        | Gate.Cnot (c, t) -> Printf.sprintf "cx q[%d],q[%d];" c t
+        | Gate.Swap (a, b) -> Printf.sprintf "swap q[%d],q[%d];" a b
+        | Gate.Barrier qs ->
+            Printf.sprintf "barrier %s;"
+              (String.concat ","
+                 (List.map (Printf.sprintf "q[%d]") qs))
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    (Circuit.gates circuit);
+  if creg then
+    for q = 0 to n - 1 do
+      Buffer.add_string buf (Printf.sprintf "measure q[%d] -> c[%d];\n" q q)
+    done;
+  Buffer.contents buf
+
+let write_file ?creg path circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?creg circuit))

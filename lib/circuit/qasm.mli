@@ -1,0 +1,23 @@
+(** OpenQASM 2.0 reader and writer.
+
+    Supports the practical subset produced and consumed by the mapping
+    flow: [OPENQASM 2.0], [include] (ignored), any number of [qreg]s
+    (flattened into one contiguous index space in declaration order),
+    [creg]/[measure]/[barrier], the qelib1 single-qubit gates
+    (id x y z h s sdg t tdg rx ry rz u1 u2 u3 u), [cx], and [swap].
+    Parameter expressions allow numbers, [pi], [+ - * / ^], parentheses and
+    unary minus. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> Circuit.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : ?creg:bool -> Circuit.t -> string
+(** Emit OpenQASM 2.0.  Named gates are emitted with their qelib1 names;
+    [U] gates as [u3].  [creg] additionally declares a classical register
+    and measures every qubit at the end (default false). *)
+
+val write_file : ?creg:bool -> string -> Circuit.t -> unit

@@ -1,0 +1,181 @@
+open Complex
+
+type state = Complex.t array
+type matrix = Complex.t array array
+
+let dim n = 1 lsl n
+
+let basis n i =
+  let s = Array.make (dim n) zero in
+  s.(i) <- one;
+  s
+
+let random_state rng n =
+  let gaussian () =
+    (* Box–Muller *)
+    let u1 = Random.State.float rng 1.0 +. 1e-12 in
+    let u2 = Random.State.float rng 1.0 in
+    Stdlib.sqrt (-2.0 *. Stdlib.log u1) *. Stdlib.cos (2.0 *. Float.pi *. u2)
+  in
+  let s = Array.init (dim n) (fun _ -> { re = gaussian (); im = gaussian () }) in
+  let nrm =
+    Stdlib.sqrt (Array.fold_left (fun acc a -> acc +. norm2 a) 0.0 s)
+  in
+  Array.map (fun a -> div a { re = nrm; im = 0.0 }) s
+
+let apply_single n m q (s : state) : state =
+  let out = Array.copy s in
+  let bit = 1 lsl q in
+  for i = 0 to dim n - 1 do
+    if i land bit = 0 then begin
+      let j = i lor bit in
+      let a = s.(i) and b = s.(j) in
+      out.(i) <- add (mul m.(0).(0) a) (mul m.(0).(1) b);
+      out.(j) <- add (mul m.(1).(0) a) (mul m.(1).(1) b)
+    end
+  done;
+  out
+
+let apply_gate n g (s : state) : state =
+  match g with
+  | Gate.Single (k, q) -> apply_single n (Gate.single_matrix k) q s
+  | Gate.Cnot (c, t) ->
+      let out = Array.copy s in
+      let cb = 1 lsl c and tb = 1 lsl t in
+      for i = 0 to dim n - 1 do
+        if i land cb <> 0 && i land tb = 0 then begin
+          let j = i lor tb in
+          out.(i) <- s.(j);
+          out.(j) <- s.(i)
+        end
+      done;
+      out
+  | Gate.Swap (a, b) ->
+      let out = Array.copy s in
+      let ab = 1 lsl a and bb = 1 lsl b in
+      for i = 0 to dim n - 1 do
+        if i land ab <> 0 && i land bb = 0 then begin
+          let j = (i lxor ab) lor bb in
+          out.(i) <- s.(j);
+          out.(j) <- s.(i)
+        end
+      done;
+      out
+  | Gate.Barrier _ -> s
+
+let run circuit s =
+  let n = Circuit.num_qubits circuit in
+  if Array.length s <> dim n then invalid_arg "Unitary.run: dimension";
+  List.fold_left (fun s g -> apply_gate n g s) s (Circuit.gates circuit)
+
+let unitary circuit =
+  let n = Circuit.num_qubits circuit in
+  let d = dim n in
+  let cols = Array.init d (fun i -> run circuit (basis n i)) in
+  (* store row-major: u.(r).(c) *)
+  Array.init d (fun r -> Array.init d (fun c -> cols.(c).(r)))
+
+let permutation_matrix n sigma =
+  let d = dim n in
+  (* basis |x> maps to |y> with bit (sigma q) of y = bit q of x *)
+  let image x =
+    let y = ref 0 in
+    for q = 0 to n - 1 do
+      if x land (1 lsl q) <> 0 then y := !y lor (1 lsl (sigma q))
+    done;
+    !y
+  in
+  let m = Array.make_matrix d d zero in
+  for x = 0 to d - 1 do
+    m.(image x).(x) <- one
+  done;
+  m
+
+let mat_mul a b =
+  let d = Array.length a in
+  let out = Array.make_matrix d d zero in
+  for i = 0 to d - 1 do
+    for k = 0 to d - 1 do
+      let aik = a.(i).(k) in
+      if aik.re <> 0.0 || aik.im <> 0.0 then
+        for j = 0 to d - 1 do
+          out.(i).(j) <- add out.(i).(j) (mul aik b.(k).(j))
+        done
+    done
+  done;
+  out
+
+let mat_dagger a =
+  let d = Array.length a in
+  Array.init d (fun i -> Array.init d (fun j -> conj a.(j).(i)))
+
+let max_entry_diff a b =
+  let d = Array.length a in
+  let m = ref 0.0 in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      m := Float.max !m (norm (sub a.(i).(j) b.(i).(j)))
+    done
+  done;
+  !m
+
+let equal_strict ?(eps = 1e-9) a b = max_entry_diff a b <= eps
+
+let first_significant a =
+  let d = Array.length a in
+  let found = ref None in
+  (try
+     for i = 0 to d - 1 do
+       for j = 0 to d - 1 do
+         if norm a.(i).(j) > 1e-6 then begin
+           found := Some (i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let equal_up_to_phase ?(eps = 1e-9) a b =
+  match first_significant a with
+  | None -> max_entry_diff a b <= eps
+  | Some (i, j) ->
+      if norm b.(i).(j) <= 1e-9 then false
+      else begin
+        let phase = div a.(i).(j) b.(i).(j) in
+        let mag = norm phase in
+        if Float.abs (mag -. 1.0) > 1e-6 then false
+        else begin
+          let d = Array.length b in
+          let b' =
+            Array.init d (fun r -> Array.map (fun x -> mul phase x) b.(r))
+          in
+          max_entry_diff a b' <= eps
+        end
+      end
+
+let state_equal ?(eps = 1e-9) s1 s2 =
+  Array.length s1 = Array.length s2
+  && begin
+       let m = ref 0.0 in
+       Array.iteri (fun i a -> m := Float.max !m (norm (sub a s2.(i)))) s1;
+       !m <= eps
+     end
+
+let states_equivalent_up_to_phase ?(eps = 1e-9) s1 s2 =
+  Array.length s1 = Array.length s2
+  &&
+  let idx = ref None in
+  Array.iteri
+    (fun i a -> if !idx = None && norm a > 1e-6 then idx := Some i)
+    s1;
+  match !idx with
+  | None -> state_equal ~eps s1 s2
+  | Some i ->
+      if norm s2.(i) <= 1e-9 then false
+      else
+        let phase = div s1.(i) s2.(i) in
+        if Float.abs (norm phase -. 1.0) > 1e-6 then false
+        else state_equal ~eps s1 (Array.map (mul phase) s2)
+
+let distance = max_entry_diff

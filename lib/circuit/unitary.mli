@@ -1,0 +1,43 @@
+(** Statevector and unitary simulation, used to *prove* that mapped
+    circuits implement the original ones.
+
+    Qubit 0 is the least significant bit of a basis index.  Sizes here are
+    small (the QX4 experiments use at most 5 qubits ⇒ 32-dimensional
+    spaces), so dense complex arrays are plenty. *)
+
+type state = Complex.t array
+type matrix = Complex.t array array
+
+val basis : int -> int -> state
+(** [basis n i] is |i⟩ over [n] qubits. *)
+
+val random_state : Random.State.t -> int -> state
+(** Haar-ish random normalized state (Gaussian components). *)
+
+val apply_gate : int -> Gate.t -> state -> state
+(** [apply_gate n g psi]: apply [g] to an [n]-qubit state. Barriers are
+    identity. *)
+
+val run : Circuit.t -> state -> state
+(** Apply every gate in order. *)
+
+val unitary : Circuit.t -> matrix
+(** Full 2ⁿ×2ⁿ unitary of the circuit (column [i] = circuit applied to
+    |i⟩). Use only for small [n]. *)
+
+val permutation_matrix : int -> (int -> int) -> matrix
+(** [permutation_matrix n sigma] is the unitary that moves the content of
+    wire [q] to wire [sigma q], for a bijective [sigma] on [0, n). *)
+
+val mat_mul : matrix -> matrix -> matrix
+val mat_dagger : matrix -> matrix
+
+val equal_up_to_phase : ?eps:float -> matrix -> matrix -> bool
+val equal_strict : ?eps:float -> matrix -> matrix -> bool
+
+val state_equal : ?eps:float -> state -> state -> bool
+
+val states_equivalent_up_to_phase : ?eps:float -> state -> state -> bool
+
+val distance : matrix -> matrix -> float
+(** Max-entry distance, ignoring no phase (diagnostic aid). *)

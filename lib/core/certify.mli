@@ -1,0 +1,34 @@
+(** Machine-checkable optimality certificates.
+
+    The mapper's minimality claim boils down to one UNSAT answer: "there
+    is no valid mapping with objective value ≤ F* − 1".  This module
+    replays that final question on a fresh solver with DRUP proof logging
+    and checks the resulting trace with {!Qxm_sat.Proof.check} — an
+    independent reverse-unit-propagation verifier that does not trust the
+    solver's search.  Together with the unitary equivalence proof of the
+    constructed circuit, a mapping result is then certified end to end:
+    the circuit is correct, and nothing cheaper exists (for the given
+    instance: architecture, strategy spots, cost model). *)
+
+type outcome =
+  | Certified of Qxm_sat.Proof.t
+      (** No solution with objective ≤ [cost] − 1 exists; the returned
+          proof was checked and found valid. *)
+  | Better_exists of int
+      (** A solution with a smaller objective value was found — [cost]
+          was not optimal for this instance. *)
+  | Proof_rejected of string
+      (** The solver answered UNSAT but its trace failed the independent
+          check (this indicates a solver bug; it fails the test suite). *)
+  | Budget_exhausted
+
+val optimality :
+  ?amo:Qxm_encode.Amo.encoding ->
+  ?costs:Encoding.cost_model ->
+  ?deadline:float ->
+  instance:Encoding.instance ->
+  cost:int ->
+  unit ->
+  outcome
+(** [optimality ~instance ~cost ()] certifies that [cost] (in the units
+    of [costs]) is a lower bound on the instance's objective. *)

@@ -1,0 +1,285 @@
+module Lit = Qxm_sat.Lit
+module Solver = Qxm_sat.Solver
+module Cnf = Qxm_encode.Cnf
+module Amo = Qxm_encode.Amo
+module Coupling = Qxm_arch.Coupling
+module Permutation = Qxm_arch.Permutation
+module Swap_count = Qxm_arch.Swap_count
+
+type instance = {
+  arch : Coupling.t;
+  num_logical : int;
+  cnots : (int * int) array;
+  spots : int list;
+}
+
+type cost_model = { swap_weight : int; flip_weight : int }
+
+let paper_costs = { swap_weight = 7; flip_weight = 4 }
+
+let validate inst =
+  let m = Coupling.num_qubits inst.arch in
+  let g = Array.length inst.cnots in
+  if inst.num_logical <= 0 then
+    invalid_arg "Encoding: no logical qubits";
+  if inst.num_logical > m then
+    invalid_arg
+      (Printf.sprintf "Encoding: %d logical qubits exceed %d physical"
+         inst.num_logical m);
+  if not (Coupling.is_connected inst.arch) then
+    invalid_arg "Encoding: disconnected architecture";
+  Array.iter
+    (fun (c, t) ->
+      if c < 0 || c >= inst.num_logical || t < 0 || t >= inst.num_logical
+      then invalid_arg "Encoding: CNOT qubit out of range";
+      if c = t then invalid_arg "Encoding: CNOT with control = target")
+    inst.cnots;
+  let rec check_spots prev = function
+    | [] -> ()
+    | s :: rest ->
+        if s <= prev then invalid_arg "Encoding: spots not ascending";
+        if s < 1 || s >= g then invalid_arg "Encoding: spot out of range";
+        check_spots s rest
+  in
+  check_spots 0 inst.spots
+
+type built = {
+  instance : instance;
+  cnf : Cnf.t;
+  table : Swap_count.t;
+  seg_of_gate : int array;
+  num_segments : int;
+  x : Lit.t array array array; (* x.(s).(i).(j) *)
+  z : Lit.t array;
+  objective : (int * Lit.t) list;
+}
+
+let segments_of inst =
+  let g = Array.length inst.cnots in
+  let seg = Array.make (max g 1) 0 in
+  let spots = ref inst.spots in
+  let current = ref 0 in
+  for k = 0 to g - 1 do
+    (match !spots with
+    | s :: rest when s = k ->
+        incr current;
+        spots := rest
+    | _ -> ());
+    seg.(k) <- !current
+  done;
+  (seg, !current + 1)
+
+(* Eq. (1): every logical qubit on exactly one physical qubit; every
+   physical qubit holds at most one logical qubit. *)
+let constrain_well_defined ~amo cnf x m n =
+  Array.iter
+    (fun block ->
+      for j = 0 to n - 1 do
+        Amo.exactly_one ~encoding:amo cnf
+          (List.init m (fun i -> block.(i).(j)))
+      done;
+      for i = 0 to m - 1 do
+        Amo.at_most_one ~encoding:amo cnf
+          (List.init n (fun j -> block.(i).(j)))
+      done)
+    x
+
+(* Eq. (2): each CNOT sits on a coupled pair, in either orientation; and
+   the z^k trigger of Eq. (4).  The z trigger is restricted to edges whose
+   reverse is absent: on a bidirected pair the gate runs natively, so no
+   H cost may be charged (the paper's devices are one-directional, where
+   both formulations coincide). *)
+let constrain_coupling cnf inst x seg z =
+  let arch = inst.arch in
+  Array.iteri
+    (fun k (c, t) ->
+      let block = x.(seg.(k)) in
+      let options = ref [] in
+      List.iter
+        (fun (pi, pj) ->
+          let native = Cnf.fresh cnf in
+          Cnf.imp_and cnf native [ block.(pi).(c); block.(pj).(t) ];
+          options := native :: !options;
+          let reversed = Cnf.fresh cnf in
+          Cnf.imp_and cnf reversed [ block.(pi).(t); block.(pj).(c) ];
+          options := reversed :: !options;
+          if not (Coupling.allows arch pj pi) then
+            (* control at pj, target at pi: only reachable by switching *)
+            Cnf.add cnf
+              [ Lit.negate block.(pi).(t); Lit.negate block.(pj).(c); z.(k) ])
+        (Coupling.edges arch);
+      Cnf.add cnf !options)
+    inst.cnots
+
+(* Cost ladder for one permutation spot: step.(t) is forced whenever the
+   applied permutation needs more than t SWAPs. *)
+let make_ladder cnf max_swaps =
+  let steps = Array.init max_swaps (fun _ -> Cnf.fresh cnf) in
+  for t = 0 to max_swaps - 2 do
+    Cnf.implies cnf steps.(t + 1) steps.(t)
+  done;
+  steps
+
+(* Square regime (n = m): movement indicators + one clause per costly
+   permutation. *)
+let constrain_spot_square cnf table x_prev x_next m steps =
+  let move = Array.init m (fun _ -> Array.init m (fun _ -> Cnf.fresh cnf)) in
+  for i = 0 to m - 1 do
+    for i' = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        Cnf.add cnf
+          [
+            Lit.negate x_prev.(i).(j);
+            Lit.negate x_next.(i').(j);
+            move.(i).(i');
+          ]
+      done
+    done
+  done;
+  List.iter
+    (fun (pi, cost) ->
+      if cost > 0 then begin
+        let y = Cnf.fresh cnf in
+        let body =
+          Array.to_list
+            (Array.mapi (fun i target -> Lit.negate move.(i).(target)) pi)
+        in
+        Cnf.add cnf (y :: body);
+        for t = 0 to cost - 1 do
+          Cnf.implies cnf y steps.(t)
+        done
+      end)
+    (Swap_count.permutations_with_cost table)
+
+(* General regime (n < m): choose at least one permutation and force it to
+   agree with every occupied position's movement (footnote 5). *)
+let constrain_spot_general cnf table x_prev x_next m n steps =
+  let ys =
+    List.map
+      (fun (pi, cost) ->
+        let y = Cnf.fresh cnf in
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            Cnf.add cnf
+              [
+                Lit.negate y;
+                Lit.negate x_prev.(i).(j);
+                x_next.(Permutation.apply pi i).(j);
+              ]
+          done
+        done;
+        for t = 0 to cost - 1 do
+          Cnf.implies cnf y steps.(t)
+        done;
+        y)
+      (Swap_count.permutations_with_cost table)
+  in
+  Cnf.add cnf ys
+
+let build ?(amo = Amo.default) ?(costs = paper_costs) cnf inst =
+  validate inst;
+  if costs.swap_weight < 0 || costs.flip_weight < 0 then
+    invalid_arg "Encoding.build: negative cost weight";
+  let m = Coupling.num_qubits inst.arch in
+  let n = inst.num_logical in
+  let g = Array.length inst.cnots in
+  let table = Swap_count.compute inst.arch in
+  let seg_of_gate, num_segments = segments_of inst in
+  let x =
+    Array.init num_segments (fun _ ->
+        Array.init m (fun _ -> Array.init n (fun _ -> Cnf.fresh cnf)))
+  in
+  let z = Array.init g (fun _ -> Cnf.fresh cnf) in
+  constrain_well_defined ~amo cnf x m n;
+  constrain_coupling cnf inst x seg_of_gate z;
+  let max_sw = Swap_count.max_swaps table in
+  let objective = ref [] in
+  if costs.flip_weight > 0 then
+    Array.iter
+      (fun zk -> objective := (costs.flip_weight, zk) :: !objective)
+      z;
+  for s = 1 to num_segments - 1 do
+    let steps = make_ladder cnf max_sw in
+    (if n = m then constrain_spot_square cnf table x.(s - 1) x.(s) m steps
+     else constrain_spot_general cnf table x.(s - 1) x.(s) m n steps);
+    if costs.swap_weight > 0 then
+      Array.iter
+        (fun b -> objective := (costs.swap_weight, b) :: !objective)
+        steps
+  done;
+  {
+    instance = inst;
+    cnf;
+    table;
+    seg_of_gate;
+    num_segments;
+    x;
+    z;
+    objective = List.rev !objective;
+  }
+
+let objective b = b.objective
+let num_segments b = b.num_segments
+
+let segment_of_gate b k =
+  if k < 0 || k >= Array.length b.seg_of_gate then
+    invalid_arg "Encoding.segment_of_gate";
+  b.seg_of_gate.(k)
+
+let swap_table b = b.table
+
+let lit_true model l =
+  let v = Lit.var l in
+  if Lit.sign l then model.(v) else not model.(v)
+
+let mapping_of_model b model =
+  let m = Coupling.num_qubits b.instance.arch in
+  let n = b.instance.num_logical in
+  Array.map
+    (fun block ->
+      let place = Array.make n (-1) in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          if lit_true model block.(i).(j) then begin
+            if place.(j) <> -1 then
+              invalid_arg "Encoding: model places a qubit twice";
+            place.(j) <- i
+          end
+        done
+      done;
+      Array.iteri
+        (fun j p ->
+          if p = -1 then
+            invalid_arg
+              (Printf.sprintf "Encoding: logical qubit %d unplaced" j))
+        place;
+      place)
+    b.x
+
+let permutation_at_spot b model s =
+  if s < 1 || s >= b.num_segments then
+    invalid_arg "Encoding.permutation_at_spot";
+  let maps = mapping_of_model b model in
+  let prev = maps.(s - 1) and next = maps.(s) in
+  let m = Coupling.num_qubits b.instance.arch in
+  let partial = Array.make m (-1) in
+  Array.iteri (fun j i -> partial.(i) <- next.(j)) prev;
+  (* cheapest reachable permutation extending the partial movement;
+     [permutations_with_cost] is in BFS (ascending cost) order. *)
+  let consistent pi =
+    let ok = ref true in
+    Array.iteri
+      (fun i target -> if target <> -1 && Permutation.apply pi i <> target then ok := false)
+      partial;
+    !ok
+  in
+  match
+    List.find_opt
+      (fun (pi, _) -> consistent pi)
+      (Swap_count.permutations_with_cost b.table)
+  with
+  | Some (pi, _) -> pi
+  | None -> invalid_arg "Encoding: no consistent permutation (disconnected?)"
+
+let var_count b = Solver.nvars (Cnf.solver b.cnf)
+let clause_count b = Solver.nclauses (Cnf.solver b.cnf)

@@ -1,0 +1,74 @@
+(** The exact mapper: end-to-end pipeline from a logical circuit to a
+    coupling-compliant physical circuit with minimal (or strategy-bounded)
+    SWAP/H cost.
+
+    Pipeline: extract the CNOT skeleton (Fig. 1b) → choose permutation
+    spots per {!Strategy} → encode ({!Encoding}) → minimize Eq. (5) with
+    the SAT optimizer → reconstruct the mapped circuit by replaying the
+    original gate list with SWAP chains at permutation spots and H-flips
+    on direction-violating CNOTs → optionally prove equivalence by
+    unitary simulation. *)
+
+type options = {
+  strategy : Strategy.t;
+  use_subsets : bool;
+      (** Sec. 4.1: solve one square instance per connected physical-qubit
+          subset instead of one instance on the whole device. *)
+  timeout : float option;  (** wall-clock seconds for the whole call *)
+  opt_strategy : Qxm_opt.Minimize.strategy;
+  amo : Qxm_encode.Amo.encoding;
+  verify : bool;
+      (** Check the mapped circuit against the original by full unitary
+          simulation (exact, feasible for the instance sizes of the
+          paper). *)
+  upper_bound : int option;
+      (** Only look for mappings with F at most this value — a warm start
+          when a solution of known cost exists (e.g. the subset method's
+          result seeding the full-device run, or a heuristic mapper's
+          cost).  With a bound below the true optimum, [run] reports
+          [Unmappable], which then means "nothing within the bound".
+          The bound is expressed in the units of [costs]. *)
+  costs : Encoding.cost_model;
+      (** Objective weights (default {!Encoding.paper_costs}, i.e. 7 per
+          SWAP and 4 per switched CNOT).  [report.f_cost] always counts
+          elementary gates regardless; custom weights change what is
+          *optimized*, e.g. (1, 1) minimizes the number of insertions. *)
+}
+
+val default : options
+(** Minimal strategy, subsets on, no timeout, linear descent, sequential
+    AMO, verification on. *)
+
+type report = {
+  mapped : Qxm_circuit.Circuit.t;
+      (** Device-space circuit with explicit SWAP gates. *)
+  elementary : Qxm_circuit.Circuit.t;
+      (** Device-space circuit after Fig. 3 decompositions: only
+          single-qubit gates and coupling-compliant CNOTs. *)
+  initial : int array;  (** logical qubit → physical qubit, at the start *)
+  final : int array;  (** logical qubit → physical qubit, at the end *)
+  f_cost : int;  (** Eq. (5): 7·#SWAPs + 4·#switched CNOTs *)
+  total_gates : int;  (** Table 1's c: gate count of [elementary] *)
+  optimal : bool;  (** proven minimal for the chosen strategy *)
+  runtime : float;  (** seconds *)
+  reported_gprime : int;  (** Table 1's |G'| (permutation points) *)
+  subsets_tried : int;
+  solves : int;  (** SAT solver calls *)
+  verified : bool option;  (** [Some true] iff simulation proved equality *)
+}
+
+type failure =
+  | Too_many_logical of { logical : int; physical : int }
+  | Unmappable  (** no valid mapping under the chosen strategy *)
+  | Timeout  (** budget exhausted before any model was found *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?options:options ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  (report, failure) result
+(** Map [circuit] onto [arch].  The input must not contain SWAP gates
+    (decompose them first); barriers pass through.
+    @raise Invalid_argument on SWAP gates in the input. *)

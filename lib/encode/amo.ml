@@ -1,0 +1,67 @@
+module Lit = Qxm_sat.Lit
+
+type encoding = Pairwise | Sequential | Commander
+
+let default = Sequential
+
+let pairwise cnf lits =
+  let rec go = function
+    | [] -> ()
+    | l :: rest ->
+        List.iter
+          (fun l' -> Cnf.add cnf [ Lit.negate l; Lit.negate l' ])
+          rest;
+        go rest
+  in
+  go lits
+
+(* Sinz sequential counter: s_i means "one of lits[0..i] is true". *)
+let sequential cnf lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+      let s = ref first in
+      List.iter
+        (fun l ->
+          let s' = Cnf.fresh cnf in
+          Cnf.add cnf [ Lit.negate !s; s' ];
+          Cnf.add cnf [ Lit.negate l; s' ];
+          Cnf.add cnf [ Lit.negate l; Lit.negate !s ];
+          s := s')
+        rest
+
+(* Commander with group size 3: for each group, pairwise AMO inside plus a
+   commander variable equivalent to "some group member is true"; recurse on
+   commanders. *)
+let rec commander cnf lits =
+  if List.length lits <= 3 then pairwise cnf lits
+  else begin
+    let rec split = function
+      | a :: b :: c :: rest -> [ a; b; c ] :: split rest
+      | [] -> []
+      | small -> [ small ]
+    in
+    let groups = split lits in
+    let commanders =
+      List.map
+        (fun group ->
+          pairwise cnf group;
+          let c = Cnf.fresh cnf in
+          Cnf.equiv_or cnf c group;
+          c)
+        groups
+    in
+    commander cnf commanders
+  end
+
+let at_most_one ?(encoding = default) cnf lits =
+  match encoding with
+  | Pairwise -> pairwise cnf lits
+  | Sequential -> sequential cnf lits
+  | Commander -> commander cnf lits
+
+let at_least_one cnf lits = Cnf.add cnf lits
+
+let exactly_one ?(encoding = default) cnf lits =
+  at_least_one cnf lits;
+  at_most_one ~encoding cnf lits

@@ -1,0 +1,68 @@
+module Solver = Qxm_sat.Solver
+module Lit = Qxm_sat.Lit
+
+type t = {
+  solver : Solver.t;
+  mutable const_true : Lit.t option;
+  mutable num_aux : int;
+}
+
+let create solver = { solver; const_true = None; num_aux = 0 }
+let solver t = t.solver
+
+let fresh t =
+  t.num_aux <- t.num_aux + 1;
+  Lit.pos (Solver.new_var t.solver)
+
+let add t clause = Solver.add_clause t.solver clause
+
+let true_ t =
+  match t.const_true with
+  | Some l -> l
+  | None ->
+      let l = fresh t in
+      add t [ l ];
+      t.const_true <- Some l;
+      l
+
+let false_ t = Lit.negate (true_ t)
+
+let equiv_and t y ls =
+  (* y -> each l;  /\ ls -> y *)
+  List.iter (fun l -> add t [ Lit.negate y; l ]) ls;
+  add t (y :: List.map Lit.negate ls)
+
+let equiv_or t y ls =
+  List.iter (fun l -> add t [ Lit.negate l; y ]) ls;
+  add t (Lit.negate y :: ls)
+
+let imp_and t y ls = List.iter (fun l -> add t [ Lit.negate y; l ]) ls
+let and_imp t ls y = add t (y :: List.map Lit.negate ls)
+
+let and_ t = function
+  | [] -> true_ t
+  | [ l ] -> l
+  | ls ->
+      let y = fresh t in
+      equiv_and t y ls;
+      y
+
+let or_ t = function
+  | [] -> false_ t
+  | [ l ] -> l
+  | ls ->
+      let y = fresh t in
+      equiv_or t y ls;
+      y
+
+let xor_ t a b =
+  let y = fresh t in
+  add t [ Lit.negate y; a; b ];
+  add t [ Lit.negate y; Lit.negate a; Lit.negate b ];
+  add t [ y; Lit.negate a; b ];
+  add t [ y; a; Lit.negate b ];
+  y
+
+let iff t a b = xor_ t a (Lit.negate b)
+let implies t a b = add t [ Lit.negate a; b ]
+let num_aux t = t.num_aux

@@ -1,0 +1,50 @@
+(** CNF construction context.
+
+    Thin layer over {!Qxm_sat.Solver} that hands out fresh variables and
+    Tseitin-encodes the Boolean structure the symbolic formulation of the
+    mapping problem needs (conjunctions, disjunctions, equivalences). *)
+
+type t
+
+val create : Qxm_sat.Solver.t -> t
+val solver : t -> Qxm_sat.Solver.t
+
+val fresh : t -> Qxm_sat.Lit.t
+(** Positive literal of a newly allocated variable. *)
+
+val add : t -> Qxm_sat.Lit.t list -> unit
+(** Add a clause. *)
+
+val true_ : t -> Qxm_sat.Lit.t
+(** A literal constrained to be true (allocated lazily, shared). *)
+
+val false_ : t -> Qxm_sat.Lit.t
+
+val and_ : t -> Qxm_sat.Lit.t list -> Qxm_sat.Lit.t
+(** [and_ t ls] is a literal [y] with [y <-> /\ ls].  Returns {!true_} on
+    the empty list. *)
+
+val or_ : t -> Qxm_sat.Lit.t list -> Qxm_sat.Lit.t
+(** [or_ t ls] is a literal [y] with [y <-> \/ ls].  Returns {!false_} on
+    the empty list. *)
+
+val xor_ : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t
+val iff : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t
+
+val implies : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> unit
+(** Add the clause [a -> b]. *)
+
+val equiv_and : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t list -> unit
+(** [equiv_and t y ls] constrains [y <-> /\ ls] for an existing literal. *)
+
+val equiv_or : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t list -> unit
+(** [equiv_or t y ls] constrains [y <-> \/ ls] for an existing literal. *)
+
+val imp_and : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t list -> unit
+(** [imp_and t y ls] constrains [y -> /\ ls] only (left implication). *)
+
+val and_imp : t -> Qxm_sat.Lit.t list -> Qxm_sat.Lit.t -> unit
+(** [and_imp t ls y] constrains [/\ ls -> y] only. *)
+
+val num_aux : t -> int
+(** Number of auxiliary variables allocated through this context. *)

@@ -1,0 +1,77 @@
+module Lit = Qxm_sat.Lit
+
+(* A node is the ascending association list of attainable partial sums of
+   the literals below it, each with an indicator literal. *)
+type node = (int * Lit.t) list
+
+type t = { root : node; total : int }
+
+module IntMap = Map.Make (Int)
+
+let merge cnf (a : node) (b : node) : node =
+  (* Attainable sums of the union: values of a, of b, and pairwise sums. *)
+  let add_value acc v = if IntMap.mem v acc then acc else IntMap.add v () acc in
+  let values = IntMap.empty in
+  let values = List.fold_left (fun m (v, _) -> add_value m v) values a in
+  let values = List.fold_left (fun m (v, _) -> add_value m v) values b in
+  let values =
+    List.fold_left
+      (fun m (va, _) ->
+        List.fold_left (fun m (vb, _) -> add_value m (va + vb)) m b)
+      values a
+  in
+  let out =
+    IntMap.fold (fun v () acc -> (v, Cnf.fresh cnf) :: acc) values []
+    |> List.sort (fun (v1, _) (v2, _) -> compare v1 v2)
+  in
+  let lit_for v = List.assoc v out in
+  List.iter (fun (v, l) -> Cnf.implies cnf l (lit_for v)) a;
+  List.iter (fun (v, l) -> Cnf.implies cnf l (lit_for v)) b;
+  List.iter
+    (fun (va, la) ->
+      List.iter
+        (fun (vb, lb) ->
+          Cnf.add cnf [ Lit.negate la; Lit.negate lb; lit_for (va + vb) ])
+        b)
+    a;
+  out
+
+let build cnf terms =
+  List.iter
+    (fun (w, _) ->
+      if w <= 0 then invalid_arg "Pb.build: non-positive weight")
+    terms;
+  let rec go = function
+    | [] -> []
+    | [ (w, l) ] -> [ (w, l) ]
+    | ls ->
+        let n = List.length ls in
+        let rec split i acc = function
+          | rest when i = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (i - 1) (x :: acc) rest
+          | [] -> (List.rev acc, [])
+        in
+        let left, right = split (n / 2) [] ls in
+        merge cnf (go left) (go right)
+  in
+  let root = go terms in
+  { root; total = List.fold_left (fun acc (w, _) -> acc + w) 0 terms }
+
+let values t = List.map fst t.root
+let max_value t = t.total
+
+let tighten t b =
+  List.fold_left (fun acc v -> if v <= b then max acc v else acc) 0 (values t)
+
+let next_above t b =
+  List.fold_left
+    (fun acc v -> if v > b then (match acc with Some a -> Some (min a v) | None -> Some v) else acc)
+    None (values t)
+
+let outputs_above t b = List.filter (fun (v, _) -> v > b) t.root
+
+let enforce_at_most cnf t b =
+  List.iter (fun (_, l) -> Cnf.add cnf [ Lit.negate l ]) (outputs_above t b)
+
+let assume_at_most t b =
+  List.map (fun (_, l) -> Lit.negate l) (outputs_above t b)

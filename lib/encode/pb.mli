@@ -1,0 +1,36 @@
+(** Generalized (weighted) totalizer for pseudo-Boolean objectives.
+
+    The paper's objective (Eq. 5) is a weighted sum
+    F = Σ 7·swaps(π)·y + Σ 4·z of Boolean indicators.  This module encodes
+    the reachable partial sums of such a weighted sum as indicator
+    literals, following the Generalized Totalizer Encoding of
+    Joshi, Martins & Manquinho (CP 2015): the output for value [v] is
+    forced true whenever the true inputs contain a subset of weight
+    exactly [v]; in particular, forbidding every output above a bound [B]
+    enforces Σ ≤ B. *)
+
+type t
+
+val build : Cnf.t -> (int * Qxm_sat.Lit.t) list -> t
+(** [build cnf terms] encodes the weighted sum of [terms].  Weights must be
+    positive. @raise Invalid_argument on a non-positive weight. *)
+
+val values : t -> int list
+(** The attainable non-zero partial sums, ascending. *)
+
+val max_value : t -> int
+(** Sum of all weights (0 for an empty objective). *)
+
+val next_above : t -> int -> int option
+(** Smallest attainable sum strictly above [b], if any. *)
+
+val tighten : t -> int -> int
+(** [tighten t b] is the largest attainable sum that is [<= b] — the next
+    meaningful bound to try below [b] (0 when none). *)
+
+val enforce_at_most : Cnf.t -> t -> int -> unit
+(** Permanently constrain the weighted sum to at most [b]. *)
+
+val assume_at_most : t -> int -> Qxm_sat.Lit.t list
+(** Assumption literals constraining the weighted sum to at most [b] for a
+    single solve. *)

@@ -1,0 +1,70 @@
+module Lit = Qxm_sat.Lit
+
+type t = { outputs : Lit.t array }
+
+(* Merge two unary counters into one, encoding both directions:
+   (>= i) /\ (>= j)  ->  (>= i+j)          [sum reaches i+j]
+   (< i+1) /\ (< j+1) -> (< i+j+1)         [sum cannot exceed]  *)
+let merge cnf p q =
+  let a = Array.length p and b = Array.length q in
+  let r = Array.init (a + b) (fun _ -> Cnf.fresh cnf) in
+  for i = 0 to a do
+    for j = 0 to b do
+      if i + j > 0 then begin
+        let body =
+          (if i > 0 then [ Lit.negate p.(i - 1) ] else [])
+          @ (if j > 0 then [ Lit.negate q.(j - 1) ] else [])
+          @ [ r.(i + j - 1) ]
+        in
+        Cnf.add cnf body
+      end;
+      if i + j < a + b then begin
+        let body =
+          (if i < a then [ p.(i) ] else [])
+          @ (if j < b then [ q.(j) ] else [])
+          @ [ Lit.negate r.(i + j) ]
+        in
+        Cnf.add cnf body
+      end
+    done
+  done;
+  r
+
+let build cnf lits =
+  let rec go = function
+    | [] -> [||]
+    | [ l ] -> [| l |]
+    | ls ->
+        let n = List.length ls in
+        let rec split i acc = function
+          | rest when i = 0 -> (List.rev acc, rest)
+          | x :: rest -> split (i - 1) (x :: acc) rest
+          | [] -> (List.rev acc, [])
+        in
+        let left, right = split (n / 2) [] ls in
+        merge cnf (go left) (go right)
+  in
+  { outputs = go lits }
+
+let size t = Array.length t.outputs
+
+let output t i =
+  if i < 0 || i >= Array.length t.outputs then
+    invalid_arg "Totalizer.output";
+  t.outputs.(i)
+
+let at_most cnf t k =
+  if k < 0 then invalid_arg "Totalizer.at_most";
+  if k < size t then Cnf.add cnf [ Lit.negate t.outputs.(k) ]
+
+let at_least cnf t k =
+  if k > size t then Cnf.add cnf [] (* unsatisfiable on purpose *)
+  else if k > 0 then Cnf.add cnf [ t.outputs.(k - 1) ]
+
+let assume_at_most t k =
+  if k >= size t then [] else [ Lit.negate t.outputs.(k) ]
+
+let assume_at_least t k =
+  if k <= 0 then []
+  else if k > size t then invalid_arg "Totalizer.assume_at_least"
+  else [ t.outputs.(k - 1) ]

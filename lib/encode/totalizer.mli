@@ -1,0 +1,30 @@
+(** Totalizer cardinality encoding (Bailleux–Boufkhad).
+
+    Builds a balanced tree of unary counters over the input literals.  The
+    outputs form a unary representation of the input sum: output [i]
+    (0-based) is true iff at least [i+1] inputs are true.  Both implication
+    directions are encoded, so the structure supports at-most and at-least
+    bounds, as units or as solve-time assumptions. *)
+
+type t
+
+val build : Cnf.t -> Qxm_sat.Lit.t list -> t
+
+val size : t -> int
+(** Number of inputs. *)
+
+val output : t -> int -> Qxm_sat.Lit.t
+(** [output t i] is true iff at least [i+1] inputs are true.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val at_most : Cnf.t -> t -> int -> unit
+(** Permanently constrain the sum to at most [k] (no-op if [k >= size]). *)
+
+val at_least : Cnf.t -> t -> int -> unit
+(** Permanently constrain the sum to at least [k]. Unsatisfiable if
+    [k > size]. *)
+
+val assume_at_most : t -> int -> Qxm_sat.Lit.t list
+(** Assumption literals enforcing sum <= k for a single solve. *)
+
+val assume_at_least : t -> int -> Qxm_sat.Lit.t list

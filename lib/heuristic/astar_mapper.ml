@@ -1,0 +1,158 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Decompose = Qxm_circuit.Decompose
+module Layers = Qxm_circuit.Layers
+module Equiv = Qxm_circuit.Equiv
+module Coupling = Qxm_arch.Coupling
+module Paths = Qxm_arch.Paths
+
+type result = {
+  mapped : Circuit.t;
+  elementary : Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  verified : bool option;
+}
+
+module StateSet = Set.Make (struct
+  type t = int array
+
+  let compare = compare
+end)
+
+(* Priority queue of (f-score, state, swaps so far). *)
+module Pq = Map.Make (Int)
+
+let excess paths layout pairs =
+  List.fold_left
+    (fun acc (c, t) ->
+      acc + Paths.distance paths (Layout.phys_of layout c)
+              (Layout.phys_of layout t)
+      - 1)
+    0 pairs
+
+(* Minimal swap sequence making all pairs adjacent, by A* over layouts. *)
+let solve_layer paths edges layout pairs ~max_states =
+  if excess paths layout pairs = 0 then []
+  else begin
+    let h lay = (excess paths lay pairs + 1) / 2 in
+    let pq = ref Pq.empty in
+    let push f entry =
+      pq := Pq.update f (function
+        | None -> Some [ entry ]
+        | Some l -> Some (entry :: l)) !pq
+    in
+    let pop () =
+      match Pq.min_binding_opt !pq with
+      | None -> None
+      | Some (f, entries) -> (
+          match entries with
+          | [ e ] ->
+              pq := Pq.remove f !pq;
+              Some e
+          | e :: rest ->
+              pq := Pq.add f rest !pq;
+              Some e
+          | [] -> assert false)
+    in
+    let seen = ref StateSet.empty in
+    let expanded = ref 0 in
+    push (h layout) (layout, []);
+    let result = ref None in
+    while !result = None do
+      match pop () with
+      | None -> invalid_arg "Astar_mapper: search space exhausted"
+      | Some (lay, seq) ->
+          let key = Layout.full_positions lay in
+          if not (StateSet.mem key !seen) then begin
+            seen := StateSet.add key !seen;
+            incr expanded;
+            if !expanded > max_states then
+              invalid_arg "Astar_mapper: state budget exceeded";
+            if excess paths lay pairs = 0 then result := Some (List.rev seq)
+            else
+              List.iter
+                (fun (a, b) ->
+                  let lay' = Layout.copy lay in
+                  Layout.swap_physical lay' a b;
+                  if not (StateSet.mem (Layout.full_positions lay') !seen)
+                  then
+                    push
+                      (List.length seq + 1 + h lay')
+                      (lay', (a, b) :: seq))
+                edges
+          end
+    done;
+    Option.get !result
+  end
+
+let run ?(verify = true) ?(max_states = 2_000_000) ~arch circuit =
+  let m = Coupling.num_qubits arch in
+  let n = Circuit.num_qubits circuit in
+  if n > m then invalid_arg "Astar_mapper: circuit does not fit device";
+  if Circuit.count_swaps circuit > 0 then
+    invalid_arg "Astar_mapper: input contains SWAP gates";
+  let paths = Paths.compute arch in
+  let edges = Coupling.undirected_edges arch in
+  let layout = Layout.identity ~logical:n ~physical:m in
+  let init_full = Layout.full_positions layout in
+  let initial = Layout.to_array layout in
+  let cnot_pairs = Circuit.cnots circuit in
+  let layer_of = Array.of_list (Layers.of_pairs cnot_pairs) in
+  let nlayers = Layers.count (Array.to_list layer_of) in
+  let pairs_of_layer = Array.make (max nlayers 1) ([] : (int * int) list) in
+  List.iteri
+    (fun k pair ->
+      pairs_of_layer.(layer_of.(k)) <- pairs_of_layer.(layer_of.(k)) @ [ pair ])
+    cnot_pairs;
+  let rev_gates = ref [] in
+  let emit g = rev_gates := g :: !rev_gates in
+  let resolved = Array.make (max nlayers 1) false in
+  let k = ref 0 in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Single (kind, q) ->
+          emit (Gate.Single (kind, Layout.phys_of layout q))
+      | Gate.Barrier qs ->
+          emit (Gate.Barrier (List.map (Layout.phys_of layout) qs))
+      | Gate.Swap _ -> assert false
+      | Gate.Cnot (c, t) ->
+          let layer = layer_of.(!k) in
+          if not resolved.(layer) then begin
+            resolved.(layer) <- true;
+            let seq =
+              solve_layer paths edges layout pairs_of_layer.(layer)
+                ~max_states
+            in
+            List.iter
+              (fun (a, b) ->
+                emit (Gate.Swap (a, b));
+                Layout.swap_physical layout a b)
+              seq
+          end;
+          emit (Gate.Cnot (Layout.phys_of layout c, Layout.phys_of layout t));
+          incr k)
+    (Circuit.gates circuit);
+  let mapped = Circuit.create m (List.rev !rev_gates) in
+  let final_full = Layout.full_positions layout in
+  let elementary =
+    Decompose.elementary ~allowed:(Coupling.allows arch) mapped
+  in
+  let verified =
+    if verify then
+      Equiv.check ~allowed:(Coupling.allows arch) ~original:circuit ~mapped
+        ~init_full ~final_full ()
+    else None
+  in
+  {
+    mapped;
+    elementary;
+    initial;
+    final = Layout.to_array layout;
+    f_cost = Decompose.added_cost ~original:circuit ~mapped:elementary;
+    total_gates = Circuit.length elementary;
+    verified;
+  }

@@ -1,0 +1,27 @@
+(** A*-search layer mapper in the style of Zulehner, Paler & Wille
+    (TCAD 2018) — the stronger heuristic family the paper cites as [22].
+
+    For every blocked layer it finds a provably swap-count-minimal
+    permutation bringing all the layer's CNOT pairs onto coupled edges
+    (admissible heuristic: each SWAP reduces the layer's total excess
+    distance by at most 2).  Unlike the paper's exact method it commits
+    layer by layer, so the global result is still heuristic. *)
+
+type result = {
+  mapped : Qxm_circuit.Circuit.t;
+  elementary : Qxm_circuit.Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  verified : bool option;
+}
+
+val run :
+  ?verify:bool ->
+  ?max_states:int ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  result
+(** @raise Invalid_argument if the circuit does not fit the device or the
+    per-layer search exceeds [max_states] (default 2_000_000). *)

@@ -1,0 +1,51 @@
+type t = {
+  num_logical : int;
+  wire_to_phys : int array; (* all m wires; wires >= num_logical are idle *)
+  phys_to_wire : int array;
+}
+
+let of_perm ~logical perm =
+  let m = Array.length perm in
+  let inv = Array.make m (-1) in
+  Array.iteri (fun w p -> inv.(p) <- w) perm;
+  { num_logical = logical; wire_to_phys = perm; phys_to_wire = inv }
+
+let identity ~logical ~physical =
+  if logical > physical then invalid_arg "Layout.identity: too many logical";
+  of_perm ~logical (Array.init physical Fun.id)
+
+let random rng ~logical ~physical =
+  if logical > physical then invalid_arg "Layout.random: too many logical";
+  let perm = Array.init physical Fun.id in
+  for i = physical - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  of_perm ~logical perm
+
+let copy t =
+  {
+    t with
+    wire_to_phys = Array.copy t.wire_to_phys;
+    phys_to_wire = Array.copy t.phys_to_wire;
+  }
+
+let num_logical t = t.num_logical
+let num_physical t = Array.length t.wire_to_phys
+let phys_of t j = t.wire_to_phys.(j)
+
+let log_at t p =
+  let w = t.phys_to_wire.(p) in
+  if w < t.num_logical then w else -1
+
+let swap_physical t a b =
+  let wa = t.phys_to_wire.(a) and wb = t.phys_to_wire.(b) in
+  t.phys_to_wire.(a) <- wb;
+  t.phys_to_wire.(b) <- wa;
+  t.wire_to_phys.(wa) <- b;
+  t.wire_to_phys.(wb) <- a
+
+let to_array t = Array.sub t.wire_to_phys 0 t.num_logical
+let full_positions t = Array.copy t.wire_to_phys

@@ -1,0 +1,29 @@
+(** Mutable logical↔physical layout used by the heuristic mappers. *)
+
+type t
+
+val identity : logical:int -> physical:int -> t
+(** Logical qubit j starts on physical qubit j. *)
+
+val random : Random.State.t -> logical:int -> physical:int -> t
+
+val copy : t -> t
+val num_logical : t -> int
+val num_physical : t -> int
+
+val phys_of : t -> int -> int
+(** Physical qubit currently hosting a logical qubit. *)
+
+val log_at : t -> int -> int
+(** Logical qubit currently on a physical qubit, or [-1]. *)
+
+val swap_physical : t -> int -> int -> unit
+(** Exchange the contents of two physical qubits. *)
+
+val to_array : t -> int array
+(** Snapshot: logical → physical. *)
+
+val full_positions : t -> int array
+(** Snapshot over all wires (idle extras included): wire → physical;
+    wires >= logical count are the extras in their canonical initial
+    order. *)

@@ -1,0 +1,191 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Dag = Qxm_circuit.Dag
+module Decompose = Qxm_circuit.Decompose
+module Equiv = Qxm_circuit.Equiv
+module Coupling = Qxm_arch.Coupling
+module Paths = Qxm_arch.Paths
+
+type result = {
+  mapped : Circuit.t;
+  elementary : Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  verified : bool option;
+}
+
+let run ?(verify = true) ?(lookahead = 20) ?(lookahead_weight = 0.5)
+    ?(decay_factor = 1.001) ~arch circuit =
+  let m = Coupling.num_qubits arch in
+  let n = Circuit.num_qubits circuit in
+  if n > m then invalid_arg "Sabre: circuit does not fit device";
+  if Circuit.count_swaps circuit > 0 then
+    invalid_arg "Sabre: input contains SWAP gates";
+  let paths = Paths.compute arch in
+  let edges = Coupling.undirected_edges arch in
+  let dag = Dag.of_circuit circuit in
+  let ngates = Dag.num_gates dag in
+  let layout = Layout.identity ~logical:n ~physical:m in
+  let init_full = Layout.full_positions layout in
+  let initial = Layout.to_array layout in
+  let pending_preds =
+    Array.init ngates (fun i -> List.length (Dag.predecessors dag i))
+  in
+  let front = ref (Dag.roots dag) in
+  let executed = Array.make ngates false in
+  let remaining = ref ngates in
+  let rev_gates = ref [] in
+  let emit g = rev_gates := g :: !rev_gates in
+  let decay = Array.make m 1.0 in
+  let rounds_since_reset = ref 0 in
+  let complete i =
+    executed.(i) <- true;
+    decr remaining;
+    List.iter
+      (fun s ->
+        pending_preds.(s) <- pending_preds.(s) - 1;
+        if pending_preds.(s) = 0 then front := s :: !front)
+      (Dag.successors dag i)
+  in
+  let dist_of_cnot (c, t) =
+    Paths.distance paths (Layout.phys_of layout c) (Layout.phys_of layout t)
+  in
+  let ready i =
+    match Dag.gate dag i with
+    | Gate.Cnot (c, t) -> dist_of_cnot (c, t) = 1
+    | _ -> true
+  in
+  (* the extended set: the next CNOTs reachable from the front layer *)
+  let extended_set () =
+    let seen = Array.make ngates false in
+    let queue = Queue.create () in
+    List.iter (fun i -> Queue.add i queue) !front;
+    let acc = ref [] in
+    let count = ref 0 in
+    while (not (Queue.is_empty queue)) && !count < lookahead do
+      let i = Queue.pop queue in
+      List.iter
+        (fun s ->
+          if not seen.(s) then begin
+            seen.(s) <- true;
+            (match Dag.gate dag s with
+            | Gate.Cnot (c, t) ->
+                acc := (c, t) :: !acc;
+                incr count
+            | _ -> ());
+            Queue.add s queue
+          end)
+        (Dag.successors dag i)
+    done;
+    !acc
+  in
+  let swap_guard = ref 0 in
+  while !remaining > 0 do
+    let executable = List.filter ready !front in
+    if executable <> [] then begin
+      front := List.filter (fun i -> not (List.mem i executable)) !front;
+      List.iter
+        (fun i ->
+          (match Dag.gate dag i with
+          | Gate.Single (k, q) ->
+              emit (Gate.Single (k, Layout.phys_of layout q))
+          | Gate.Barrier qs ->
+              emit (Gate.Barrier (List.map (Layout.phys_of layout) qs))
+          | Gate.Cnot (c, t) ->
+              emit
+                (Gate.Cnot (Layout.phys_of layout c, Layout.phys_of layout t))
+          | Gate.Swap _ -> assert false);
+          complete i)
+        executable;
+      Array.fill decay 0 m 1.0;
+      rounds_since_reset := 0
+    end
+    else begin
+      incr swap_guard;
+      if !swap_guard > 10_000 then
+        invalid_arg "Sabre: routing stalled (disconnected device?)";
+      let front_cnots =
+        List.filter_map
+          (fun i ->
+            match Dag.gate dag i with
+            | Gate.Cnot (c, t) -> Some (c, t)
+            | _ -> None)
+          !front
+      in
+      let ext = extended_set () in
+      (* candidate swaps: edges touching a front CNOT's qubits *)
+      let active =
+        List.concat_map
+          (fun (c, t) ->
+            [ Layout.phys_of layout c; Layout.phys_of layout t ])
+          front_cnots
+      in
+      let candidates =
+        List.filter (fun (a, b) -> List.mem a active || List.mem b active)
+          edges
+      in
+      let candidates = if candidates = [] then edges else candidates in
+      let score (a, b) =
+        Layout.swap_physical layout a b;
+        let front_cost =
+          List.fold_left
+            (fun acc pair -> acc +. float_of_int (dist_of_cnot pair))
+            0.0 front_cnots
+        in
+        let ext_cost =
+          if ext = [] then 0.0
+          else
+            lookahead_weight
+            *. List.fold_left
+                 (fun acc pair -> acc +. float_of_int (dist_of_cnot pair))
+                 0.0 ext
+            /. float_of_int (List.length ext)
+        in
+        Layout.swap_physical layout a b;
+        Float.max decay.(a) decay.(b) *. (front_cost +. ext_cost)
+      in
+      let best =
+        List.fold_left
+          (fun acc sw ->
+            let s = score sw in
+            match acc with
+            | Some (_, s') when s' <= s -> acc
+            | _ -> Some (sw, s))
+          None candidates
+      in
+      match best with
+      | None -> invalid_arg "Sabre: no swap candidates"
+      | Some ((a, b), _) ->
+          emit (Gate.Swap (a, b));
+          Layout.swap_physical layout a b;
+          decay.(a) <- decay.(a) +. (decay_factor -. 1.0);
+          decay.(b) <- decay.(b) +. (decay_factor -. 1.0);
+          incr rounds_since_reset;
+          if !rounds_since_reset >= 5 then begin
+            Array.fill decay 0 m 1.0;
+            rounds_since_reset := 0
+          end
+    end
+  done;
+  let mapped = Circuit.create m (List.rev !rev_gates) in
+  let final_full = Layout.full_positions layout in
+  let elementary =
+    Decompose.elementary ~allowed:(Coupling.allows arch) mapped
+  in
+  let verified =
+    if verify then
+      Equiv.check ~allowed:(Coupling.allows arch) ~original:circuit ~mapped
+        ~init_full ~final_full ()
+    else None
+  in
+  {
+    mapped;
+    elementary;
+    initial;
+    final = Layout.to_array layout;
+    f_cost = Decompose.added_cost ~original:circuit ~mapped:elementary;
+    total_gates = Circuit.length elementary;
+    verified;
+  }

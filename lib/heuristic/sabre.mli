@@ -1,0 +1,34 @@
+(** SABRE-style swap router — the look-ahead heuristic of Li, Ding & Xie
+    (ASPLOS 2019), which the paper cites as [13] among the heuristic
+    state of the art.
+
+    Works on the gate-dependency DAG: repeatedly executes every
+    front-layer gate that is ready (single-qubit, or CNOT on a coupled
+    pair), and when stuck inserts the SWAP minimizing a weighted sum of
+    front-layer and look-ahead distances, with a decay term discouraging
+    ping-pong on recently swapped qubits.  Deterministic. *)
+
+type result = {
+  mapped : Qxm_circuit.Circuit.t;
+  elementary : Qxm_circuit.Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  verified : bool option;
+}
+
+val run :
+  ?verify:bool ->
+  ?lookahead:int ->
+  ?lookahead_weight:float ->
+  ?decay_factor:float ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  result
+(** [lookahead] caps the extended set size (default 20);
+    [lookahead_weight] scales its contribution (default 0.5);
+    [decay_factor] is the per-use penalty on a qubit's swaps (default
+    1.001, reset every 5 rounds as in the SABRE paper).
+    @raise Invalid_argument if the circuit does not fit the device,
+    contains SWAPs, or routing stalls (disconnected device). *)

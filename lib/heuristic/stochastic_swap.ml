@@ -1,0 +1,201 @@
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Decompose = Qxm_circuit.Decompose
+module Layers = Qxm_circuit.Layers
+module Equiv = Qxm_circuit.Equiv
+module Coupling = Qxm_arch.Coupling
+module Paths = Qxm_arch.Paths
+
+type result = {
+  mapped : Circuit.t;
+  elementary : Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  verified : bool option;
+}
+
+let layer_distance paths layout pairs =
+  List.fold_left
+    (fun acc (c, t) ->
+      acc + Paths.distance paths (Layout.phys_of layout c)
+              (Layout.phys_of layout t))
+    0 pairs
+
+let all_adjacent paths layout pairs =
+  List.for_all
+    (fun (c, t) ->
+      Paths.distance paths (Layout.phys_of layout c)
+        (Layout.phys_of layout t)
+      = 1)
+    pairs
+
+(* One randomized trial: greedy distance descent over coupled SWaps with
+   random tie-breaking and occasional random perturbations. *)
+let trial rng paths edges layout pairs ~limit =
+  let lay = Layout.copy layout in
+  let seq = ref [] in
+  let steps = ref 0 in
+  while (not (all_adjacent paths lay pairs)) && !steps < limit do
+    incr steps;
+    let swap =
+      if Random.State.float rng 1.0 < 0.1 then
+        List.nth edges (Random.State.int rng (List.length edges))
+      else begin
+        let scored =
+          List.map
+            (fun (a, b) ->
+              Layout.swap_physical lay a b;
+              let d = layer_distance paths lay pairs in
+              Layout.swap_physical lay a b;
+              (d, (a, b)))
+            edges
+        in
+        let best = List.fold_left (fun acc (d, _) -> min acc d) max_int
+            (List.map (fun (d, e) -> (d, e)) scored) in
+        let bests = List.filter (fun (d, _) -> d = best) scored in
+        snd (List.nth bests (Random.State.int rng (List.length bests)))
+      end
+    in
+    let a, b = swap in
+    Layout.swap_physical lay a b;
+    seq := (a, b) :: !seq
+  done;
+  if all_adjacent paths lay pairs then Some (List.rev !seq) else None
+
+(* Deterministic fallback: walk each blocked pair's control along a
+   shortest path; every pass strictly reduces the total distance of the
+   pair being routed, and re-scanning until a fixpoint guards against
+   pairs disturbing each other. *)
+let fallback paths layout pairs =
+  let lay = Layout.copy layout in
+  let seq = ref [] in
+  let guard = ref 0 in
+  while (not (all_adjacent paths lay pairs)) && !guard < 10_000 do
+    incr guard;
+    match
+      List.find_opt
+        (fun (c, t) ->
+          Paths.distance paths (Layout.phys_of lay c) (Layout.phys_of lay t)
+          > 1)
+        pairs
+    with
+    | None -> ()
+    | Some (c, t) -> (
+        let pc = Layout.phys_of lay c and pt = Layout.phys_of lay t in
+        match Paths.swap_path paths pc pt with
+        | _ :: hop :: _ ->
+            Layout.swap_physical lay pc hop;
+            seq := (pc, hop) :: !seq
+        | _ -> assert false)
+  done;
+  if all_adjacent paths lay pairs then List.rev !seq
+  else invalid_arg "Stochastic_swap: routing failed (disconnected device?)"
+
+let resolve_layer rng paths edges layout pairs ~trials =
+  if all_adjacent paths layout pairs then []
+  else begin
+    let limit =
+      4 * Layout.num_physical layout * max 1 (Paths.diameter paths)
+    in
+    let best = ref None in
+    for _ = 1 to trials do
+      match trial rng paths edges layout pairs ~limit with
+      | Some seq -> (
+          match !best with
+          | Some b when List.length b <= List.length seq -> ()
+          | _ -> best := Some seq)
+      | None -> ()
+    done;
+    match !best with Some seq -> seq | None -> fallback paths layout pairs
+  end
+
+let run ?(seed = 0) ?(trials = 20) ?(random_initial = false) ?(verify = true)
+    ~arch circuit =
+  let m = Coupling.num_qubits arch in
+  let n = Circuit.num_qubits circuit in
+  if n > m then
+    invalid_arg "Stochastic_swap: more logical than physical qubits";
+  if Circuit.count_swaps circuit > 0 then
+    invalid_arg "Stochastic_swap: input contains SWAP gates";
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let paths = Paths.compute arch in
+  let edges = Coupling.undirected_edges arch in
+  let layout =
+    if random_initial then Layout.random rng ~logical:n ~physical:m
+    else Layout.identity ~logical:n ~physical:m
+  in
+  let init_full = Layout.full_positions layout in
+  let initial = Layout.to_array layout in
+  (* group CNOT indices by layer *)
+  let cnot_pairs = Circuit.cnots circuit in
+  let layer_of = Array.of_list (Layers.of_pairs cnot_pairs) in
+  let nlayers = Layers.count (Array.to_list layer_of) in
+  let pairs_of_layer =
+    Array.make (max nlayers 1) ([] : (int * int) list)
+  in
+  List.iteri
+    (fun k pair ->
+      pairs_of_layer.(layer_of.(k)) <- pairs_of_layer.(layer_of.(k)) @ [ pair ])
+    cnot_pairs;
+  let rev_gates = ref [] in
+  let emit g = rev_gates := g :: !rev_gates in
+  let resolved = Array.make (max nlayers 1) false in
+  let k = ref 0 in
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Single (kind, q) ->
+          emit (Gate.Single (kind, Layout.phys_of layout q))
+      | Gate.Barrier qs ->
+          emit (Gate.Barrier (List.map (Layout.phys_of layout) qs))
+      | Gate.Swap _ -> assert false
+      | Gate.Cnot (c, t) ->
+          let layer = layer_of.(!k) in
+          if not resolved.(layer) then begin
+            resolved.(layer) <- true;
+            let seq =
+              resolve_layer rng paths edges layout pairs_of_layer.(layer)
+                ~trials
+            in
+            List.iter
+              (fun (a, b) ->
+                emit (Gate.Swap (a, b));
+                Layout.swap_physical layout a b)
+              seq
+          end;
+          emit (Gate.Cnot (Layout.phys_of layout c, Layout.phys_of layout t));
+          incr k)
+    (Circuit.gates circuit);
+  let mapped = Circuit.create m (List.rev !rev_gates) in
+  let final_full = Layout.full_positions layout in
+  let elementary =
+    Decompose.elementary ~allowed:(Coupling.allows arch) mapped
+  in
+  let verified =
+    if verify then
+      Equiv.check ~allowed:(Coupling.allows arch) ~original:circuit ~mapped
+        ~init_full ~final_full ()
+    else None
+  in
+  {
+    mapped;
+    elementary;
+    initial;
+    final = Layout.to_array layout;
+    f_cost = Decompose.added_cost ~original:circuit ~mapped:elementary;
+    total_gates = Circuit.length elementary;
+    verified;
+  }
+
+let run_best ?(seed = 0) ?(times = 5) ?trials ?verify ~arch circuit =
+  if times < 1 then invalid_arg "Stochastic_swap.run_best: times < 1";
+  let results =
+    List.init times (fun i ->
+        run ~seed:(seed + (1000 * i)) ?trials ~random_initial:(i > 0)
+          ?verify ~arch circuit)
+  in
+  List.fold_left
+    (fun acc r -> if r.f_cost < acc.f_cost then r else acc)
+    (List.hd results) (List.tl results)

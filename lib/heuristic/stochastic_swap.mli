@@ -1,0 +1,47 @@
+(** Layer-by-layer randomized swap mapper — a reimplementation of the
+    mapper shipped with early Qiskit (0.4.x), which the paper uses as "IBM's
+    heuristic solution" in Table 1.
+
+    The circuit is split into layers of gates on disjoint qubits.  For each
+    layer whose CNOTs are not all executable under the current layout, the
+    mapper runs several randomized trials: starting from the current
+    layout, greedily apply the coupled SWAP that most reduces the summed
+    distance of the layer's CNOT pairs, breaking ties randomly, restarting
+    with different random choices per trial, and keeps the shortest SWAP
+    sequence found.  Direction violations are fixed with 4 H gates at
+    decomposition, exactly like the exact mapper's output. *)
+
+type result = {
+  mapped : Qxm_circuit.Circuit.t;  (** device space, explicit SWAPs *)
+  elementary : Qxm_circuit.Circuit.t;
+  initial : int array;  (** logical → physical *)
+  final : int array;
+  f_cost : int;  (** Eq. (5) overhead of this run *)
+  total_gates : int;
+  verified : bool option;
+}
+
+val run :
+  ?seed:int ->
+  ?trials:int ->
+  ?random_initial:bool ->
+  ?verify:bool ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  result
+(** One mapping run.  [trials] randomized attempts per blocked layer
+    (default 20); [random_initial] randomizes the initial layout (default
+    false, like Qiskit's trivial layout).
+    @raise Invalid_argument if the circuit needs more qubits than the
+    device has, contains SWAPs, or the architecture is disconnected. *)
+
+val run_best :
+  ?seed:int ->
+  ?times:int ->
+  ?trials:int ->
+  ?verify:bool ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  result
+(** The paper's protocol: run the probabilistic mapper [times] times
+    (default 5) and keep the cheapest result. *)

@@ -1,0 +1,119 @@
+module Solver = Qxm_sat.Solver
+module Lit = Qxm_sat.Lit
+module Pb = Qxm_encode.Pb
+module Cnf = Qxm_encode.Cnf
+
+type strategy = Linear_descent | Binary_search
+
+type outcome = {
+  cost : int option;
+  model : bool array option;
+  optimal : bool;
+  solves : int;
+  unsatisfiable : bool;
+}
+
+let cost_of_model objective model =
+  List.fold_left
+    (fun acc (w, l) ->
+      let v = Lit.var l in
+      let value = if Lit.sign l then model.(v) else not model.(v) in
+      if value then acc + w else acc)
+    0 objective
+
+let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
+    ?(conflict_limit = -1) ?upper_bound ~cnf ~objective () =
+  let solver = Cnf.solver cnf in
+  let solves = ref 0 in
+  let solve ?(assumptions = []) () =
+    incr solves;
+    Solver.solve ~assumptions ~deadline ~conflict_limit solver
+  in
+  let seeded_pb =
+    match upper_bound with
+    | Some b when objective <> [] ->
+        let pb = Pb.build cnf objective in
+        Pb.enforce_at_most cnf pb b;
+        Some pb
+    | _ -> None
+  in
+  match solve () with
+  | Solver.Unsat ->
+      {
+        cost = None;
+        model = None;
+        optimal = false;
+        solves = !solves;
+        unsatisfiable = true;
+      }
+  | Solver.Unknown ->
+      {
+        cost = None;
+        model = None;
+        optimal = false;
+        solves = !solves;
+        unsatisfiable = false;
+      }
+  | Solver.Sat ->
+      let best_model = ref (Solver.model solver) in
+      let best = ref (cost_of_model objective !best_model) in
+      let optimal = ref false in
+      if !best = 0 then optimal := true
+      else begin
+        let pb =
+          match seeded_pb with Some pb -> pb | None -> Pb.build cnf objective
+        in
+        match strategy with
+        | Linear_descent ->
+            let stop = ref false in
+            while not !stop do
+              let bound = Pb.tighten pb (!best - 1) in
+              Pb.enforce_at_most cnf pb bound;
+              match solve () with
+              | Solver.Sat ->
+                  best_model := Solver.model solver;
+                  best := cost_of_model objective !best_model;
+                  if !best = 0 then begin
+                    optimal := true;
+                    stop := true
+                  end
+              | Solver.Unsat ->
+                  optimal := true;
+                  stop := true
+              | Solver.Unknown -> stop := true
+            done
+        | Binary_search ->
+            (* Invariant: a model of cost [hi] is known; no model of cost
+               < [lo] exists. *)
+            let lo = ref 0 and hi = ref !best in
+            let stop = ref false in
+            while (not !stop) && !lo < !hi do
+              let mid = !lo + ((!hi - !lo - 1) / 2) in
+              let bound = Pb.tighten pb mid in
+              if bound < !lo then
+                (* No attainable cost within [lo, mid]: the optimum is at
+                   least the next attainable value above mid. *)
+                lo :=
+                  (match Pb.next_above pb mid with
+                  | Some v -> min v !hi
+                  | None -> !hi)
+              else begin
+                let assumptions = Pb.assume_at_most pb bound in
+                match solve ~assumptions () with
+                | Solver.Sat ->
+                    best_model := Solver.model solver;
+                    best := cost_of_model objective !best_model;
+                    hi := !best
+                | Solver.Unsat -> lo := bound + 1
+                | Solver.Unknown -> stop := true
+              end
+            done;
+            if !lo >= !hi then optimal := true
+      end;
+      {
+        cost = Some !best;
+        model = Some !best_model;
+        optimal = !optimal;
+        solves = !solves;
+        unsatisfiable = false;
+      }

@@ -1,0 +1,47 @@
+(** SAT-based minimization of a weighted Boolean objective.
+
+    Implements the optimization role Z3 plays in the paper: find an
+    assignment satisfying the clause database that minimizes
+    F = Σ wᵢ·ℓᵢ (Def. 3, extended interpretation).  Two strategies are
+    provided; both are *anytime* — on budget exhaustion they report the
+    best model found so far together with an optimality flag. *)
+
+type strategy =
+  | Linear_descent
+      (** Solve, read the model's cost c, constrain F ≤ c−1, repeat until
+          UNSAT.  Bounds only tighten, so they are added as unit clauses,
+          which lets the solver keep all learnt clauses. *)
+  | Binary_search
+      (** Maintain [lo, hi] and bisect with assumptions; converges in
+          O(log Σw) solves but each UNSAT answer is harder. *)
+
+type outcome = {
+  cost : int option;  (** Best objective value found, if any model exists. *)
+  model : bool array option;  (** Model achieving [cost]. *)
+  optimal : bool;  (** [true] iff [cost] is proven minimal. *)
+  solves : int;  (** Number of [solve] calls performed. *)
+  unsatisfiable : bool;  (** [true] iff the hard clauses admit no model. *)
+}
+
+val minimize :
+  ?strategy:strategy ->
+  ?deadline:float ->
+  ?conflict_limit:int ->
+  ?upper_bound:int ->
+  cnf:Qxm_encode.Cnf.t ->
+  objective:(int * Qxm_sat.Lit.t) list ->
+  unit ->
+  outcome
+(** Minimize [objective] subject to the clauses already loaded in [cnf]'s
+    solver.  [deadline] is an absolute timestamp; [conflict_limit] bounds
+    each individual solve call.  Weights must be positive.
+
+    [upper_bound] permanently constrains the objective to at most that
+    value before the first solve — a warm start when a solution of known
+    cost exists (e.g. from a heuristic mapper), or a pruning device when
+    the caller only cares about solutions cheaper than a bound.  With a
+    bound below the true optimum, the outcome reports [unsatisfiable];
+    the caller is responsible for interpreting that correctly. *)
+
+val cost_of_model : (int * Qxm_sat.Lit.t) list -> bool array -> int
+(** Evaluate an objective on a model. *)

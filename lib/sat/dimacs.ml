@@ -1,0 +1,79 @@
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+let parse_string text =
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !current :: !clauses;
+        current := []
+    | Some i ->
+        if !num_vars >= 0 && abs i > !num_vars then
+          failwith
+            (Printf.sprintf "dimacs: literal %d exceeds declared %d" i
+               !num_vars);
+        current := Lit.of_int i :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match
+          String.split_on_char ' ' line
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; v; _c ] -> (
+            match int_of_string_opt v with
+            | Some v when v >= 0 -> num_vars := v
+            | _ -> failwith "dimacs: bad problem line")
+        | _ -> failwith "dimacs: bad problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+        |> List.iter handle_token)
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  let declared = !num_vars in
+  let used =
+    List.fold_left
+      (fun acc c ->
+        List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+      0 !clauses
+  in
+  { num_vars = max declared used; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string (really_input_string ic n))
+
+let load solver problem =
+  for _ = 1 to problem.num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) problem.clauses
+
+let pp fmt { num_vars; clauses } =
+  Format.fprintf fmt "p cnf %d %d@\n" num_vars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_int l)) c;
+      Format.fprintf fmt "0@\n")
+    clauses
+
+let pp_model fmt model =
+  Format.fprintf fmt "v";
+  Array.iteri
+    (fun v b -> Format.fprintf fmt " %d" (if b then v + 1 else -(v + 1)))
+    model;
+  Format.fprintf fmt " 0"

@@ -1,0 +1,23 @@
+(** DIMACS CNF reader/writer.
+
+    Used by the standalone [dimacs_solve] tool and by tests that check the
+    solver against hand-written instances. *)
+
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> problem
+(** Parse DIMACS CNF text. Accepts comment lines ([c ...]), a problem line
+    ([p cnf <vars> <clauses>]) and zero-terminated clauses; tolerates a
+    clause count that disagrees with the header.
+    @raise Failure on malformed input. *)
+
+val parse_file : string -> problem
+
+val load : Solver.t -> problem -> unit
+(** Allocate the problem's variables in order and add all clauses. *)
+
+val pp : Format.formatter -> problem -> unit
+(** Print in DIMACS CNF format. *)
+
+val pp_model : Format.formatter -> bool array -> unit
+(** Print a model as a ["v ..."] solution line. *)

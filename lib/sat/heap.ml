@@ -1,0 +1,75 @@
+type t = {
+  heap : Vec.Int.t; (* heap.(i) = variable at heap position i *)
+  index : Vec.Int.t; (* index.(v) = position of v in heap, or -1 *)
+}
+
+let create () = { heap = Vec.Int.create (); index = Vec.Int.create () }
+
+let grow t n = Vec.Int.grow_to t.index n (-1)
+
+let in_heap t v =
+  v < Vec.Int.size t.index && Vec.Int.get t.index v >= 0
+
+let is_empty t = Vec.Int.is_empty t.heap
+let size t = Vec.Int.size t.heap
+let left i = (2 * i) + 1
+let right i = (2 * i) + 2
+let parent i = (i - 1) / 2
+
+let swap t i j =
+  let vi = Vec.Int.get t.heap i and vj = Vec.Int.get t.heap j in
+  Vec.Int.set t.heap i vj;
+  Vec.Int.set t.heap j vi;
+  Vec.Int.set t.index vi j;
+  Vec.Int.set t.index vj i
+
+let percolate_up t act i =
+  let i = ref i in
+  while
+    !i > 0
+    && act.(Vec.Int.get t.heap !i) > act.(Vec.Int.get t.heap (parent !i))
+  do
+    swap t !i (parent !i);
+    i := parent !i
+  done
+
+let percolate_down t act i =
+  let n = size t in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = left !i and r = right !i in
+    let best = ref !i in
+    if l < n && act.(Vec.Int.get t.heap l) > act.(Vec.Int.get t.heap !best)
+    then best := l;
+    if r < n && act.(Vec.Int.get t.heap r) > act.(Vec.Int.get t.heap !best)
+    then best := r;
+    if !best = !i then continue := false
+    else begin
+      swap t !i !best;
+      i := !best
+    end
+  done
+
+let push t v act =
+  grow t (v + 1);
+  if not (in_heap t v) then begin
+    Vec.Int.push t.heap v;
+    Vec.Int.set t.index v (size t - 1);
+    percolate_up t act (size t - 1)
+  end
+
+let pop t act =
+  if is_empty t then invalid_arg "Heap.pop: empty";
+  let top = Vec.Int.get t.heap 0 in
+  let last = Vec.Int.pop t.heap in
+  Vec.Int.set t.index top (-1);
+  if not (is_empty t) then begin
+    Vec.Int.set t.heap 0 last;
+    Vec.Int.set t.index last 0;
+    percolate_down t act 0
+  end;
+  top
+
+let decrease t v act =
+  if in_heap t v then percolate_up t act (Vec.Int.get t.index v)

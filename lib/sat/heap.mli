@@ -1,0 +1,29 @@
+(** Indexed binary max-heap over variables, ordered by VSIDS activity.
+
+    Supports the operations CDCL branching needs: pop the most active
+    unassigned variable, reinsert variables when they are unassigned on
+    backtracking, and sift a variable up when its activity is bumped. *)
+
+type t
+
+val create : unit -> t
+
+val in_heap : t -> int -> bool
+
+val push : t -> int -> float array -> unit
+(** [push h v act] inserts variable [v] keyed by [act.(v)]; no-op if
+    already present. *)
+
+val pop : t -> float array -> int
+(** Remove and return the variable with maximal activity.
+    @raise Invalid_argument if empty. *)
+
+val is_empty : t -> bool
+val size : t -> int
+
+val decrease : t -> int -> float array -> unit
+(** Restore the heap property after [act.(v)] increased (a larger key moves
+    toward the root of a max-heap). No-op if [v] is not in the heap. *)
+
+val grow : t -> int -> unit
+(** Make room for variables up to index [n-1]. *)

@@ -1,0 +1,181 @@
+type step = Learn of Lit.t array
+
+type t = { inputs : Lit.t array list; steps : step list }
+
+type verdict = Valid | Invalid of { step_index : int; reason : string }
+
+(* Counter-based unit propagation over a growing clause database.  For
+   each RUP check we assert the negation of the candidate clause, run
+   propagation, and expect a conflict; all trail effects are undone
+   afterwards, so counters stay consistent across steps. *)
+
+type db = {
+  mutable clauses : Lit.t array array;
+  mutable nclauses : int;
+  mutable false_count : int array; (* per clause: #currently-false lits *)
+  mutable occurs : int list array; (* per literal: clauses containing it *)
+  mutable assign : int array; (* per var: 0 unassigned, 1 true, -1 false *)
+  mutable nvars : int;
+  mutable has_empty : bool;
+  trail : int Stack.t; (* assigned literals, for undo *)
+}
+
+let create_db () =
+  {
+    clauses = [||];
+    nclauses = 0;
+    false_count = [||];
+    occurs = [||];
+    assign = [||];
+    nvars = 0;
+    has_empty = false;
+    trail = Stack.create ();
+  }
+
+let ensure_var db v =
+  if v >= db.nvars then begin
+    let n = max (v + 1) (2 * max 1 db.nvars) in
+    let assign = Array.make n 0 in
+    Array.blit db.assign 0 assign 0 db.nvars;
+    db.assign <- assign;
+    let occurs = Array.make (2 * n) [] in
+    Array.blit db.occurs 0 occurs 0 (Array.length db.occurs);
+    db.occurs <- occurs;
+    db.nvars <- n
+  end
+
+let lit_value db l =
+  let v = db.assign.(Lit.var l) in
+  if Lit.sign l then v else -v
+
+exception Conflict
+
+(* Assign [l] true; propagate units; raise Conflict on contradiction. *)
+let rec assign_and_propagate db l =
+  match lit_value db l with
+  | 1 -> ()
+  | -1 -> raise Conflict
+  | _ ->
+      db.assign.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+      Stack.push l db.trail;
+      (* every clause containing ¬l gains a false literal.  Two phases:
+         complete ALL counter increments before any scan may raise
+         Conflict, so that undo_all (which decrements every counter of
+         every trail literal) sees consistent state even after an
+         exception aborts propagation. *)
+      let nl = Lit.negate l in
+      List.iter
+        (fun ci -> db.false_count.(ci) <- db.false_count.(ci) + 1)
+        db.occurs.(nl);
+      List.iter
+        (fun ci ->
+          let c = db.clauses.(ci) in
+          if db.false_count.(ci) >= Array.length c - 1 then begin
+            (* maybe unit or conflicting; scan (cheap: clause short or
+               rarely reached) *)
+            let unassigned = ref None in
+            let satisfied = ref false in
+            Array.iter
+              (fun x ->
+                match lit_value db x with
+                | 1 -> satisfied := true
+                | 0 -> unassigned := Some x
+                | _ -> ())
+              c;
+            if not !satisfied then
+              match !unassigned with
+              | Some u -> assign_and_propagate db u
+              | None -> raise Conflict
+          end)
+        db.occurs.(nl)
+
+let add_clause_db db c =
+  (* deduplicate literals: the solver stores clauses in sort_uniq form, so
+     e.g. (a ∨ a) must behave as the unit a for the checker too *)
+  let c =
+    Array.of_list (List.sort_uniq Lit.compare (Array.to_list c))
+  in
+  if Array.length c = 0 then db.has_empty <- true;
+  Array.iter (fun l -> ensure_var db (Lit.var l)) c;
+  let ci = db.nclauses in
+  if ci = Array.length db.clauses then begin
+    let cap = max 64 (2 * Array.length db.clauses) in
+    let clauses = Array.make cap [||] in
+    Array.blit db.clauses 0 clauses 0 ci;
+    db.clauses <- clauses;
+    let fc = Array.make cap 0 in
+    Array.blit db.false_count 0 fc 0 ci;
+    db.false_count <- fc
+  end;
+  db.clauses.(ci) <- c;
+  db.nclauses <- ci + 1;
+  (* initialize the false counter against the current (empty) trail *)
+  db.false_count.(ci) <-
+    Array.fold_left
+      (fun acc l -> if lit_value db l = -1 then acc + 1 else acc)
+      0 c;
+  Array.iter (fun l -> db.occurs.(l) <- ci :: db.occurs.(l)) c
+
+let undo_all db =
+  while not (Stack.is_empty db.trail) do
+    let l = Stack.pop db.trail in
+    db.assign.(Lit.var l) <- 0;
+    let nl = Lit.negate l in
+    List.iter
+      (fun ci -> db.false_count.(ci) <- db.false_count.(ci) - 1)
+      db.occurs.(nl)
+  done
+
+(* Is clause [c] derivable by reverse unit propagation? *)
+let rup db c =
+  if db.has_empty then true
+  else
+  let result =
+    try
+      (* propagate existing units first: clauses of size 1 *)
+      Array.iteri
+        (fun ci cl ->
+          if ci < db.nclauses && Array.length cl = 1 then
+            assign_and_propagate db cl.(0))
+        db.clauses;
+      Array.iter (fun l -> assign_and_propagate db (Lit.negate l)) c;
+      false
+    with Conflict -> true
+  in
+  undo_all db;
+  result
+
+let check ?(max_steps = max_int) { inputs; steps } =
+  let db = create_db () in
+  List.iter (fun c -> add_clause_db db c) inputs;
+  let rec go i = function
+    | [] ->
+        Invalid { step_index = i; reason = "proof does not derive []" }
+    | _ when i >= max_steps ->
+        Invalid { step_index = i; reason = "step budget exceeded" }
+    | Learn c :: rest ->
+        if not (rup db c) then
+          Invalid { step_index = i; reason = "clause is not RUP" }
+        else if Array.length c = 0 then Valid
+        else begin
+          add_clause_db db c;
+          go (i + 1) rest
+        end
+  in
+  go 0 steps
+
+let pp_verdict fmt = function
+  | Valid -> Format.pp_print_string fmt "valid"
+  | Invalid { step_index; reason } ->
+      Format.fprintf fmt "invalid at step %d: %s" step_index reason
+
+let to_drup { steps; _ } =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (Learn c) ->
+      Array.iter
+        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_int l) ^ " "))
+        c;
+      Buffer.add_string buf "0\n")
+    steps;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** DRUP-style unsatisfiability certificates.
+
+    When proof logging is enabled on a {!Solver}, every learnt clause is
+    recorded; a run that ends in [Unsat] (without assumptions) finishes
+    with the empty clause.  Such a trace is checkable by *reverse unit
+    propagation* against the original clauses alone: each learnt clause C
+    must yield a conflict when ¬C is asserted and unit propagation runs
+    over the clauses seen so far.  A checked trace certifies
+    unsatisfiability — and therefore certifies the optimality claims of
+    the mapper, whose final step is an UNSAT answer to "is there a
+    mapping with cost ≤ F* − 1?". *)
+
+type step =
+  | Learn of Lit.t array
+      (** A clause the solver claims is implied (RUP); the empty clause
+          concludes the proof. *)
+
+type t = { inputs : Lit.t array list; steps : step list }
+(** Original clauses (in addition order) and the learnt trace. *)
+
+type verdict =
+  | Valid
+  | Invalid of { step_index : int; reason : string }
+
+val check : ?max_steps:int -> t -> verdict
+(** Replay the trace with counter-based unit propagation.  [Valid] iff
+    every learnt clause is RUP and the trace ends with the empty clause.
+    [max_steps] (default unbounded) guards runaway traces. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val to_drup : t -> string
+(** The trace in textual DRUP format (one learnt clause per line,
+    DIMACS-encoded literals, 0-terminated). *)

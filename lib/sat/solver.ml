@@ -1,0 +1,708 @@
+(* CDCL solver in the MiniSat lineage.  The imperative core mirrors the
+   published MiniSat 2.2 algorithms; comments only mark the places where we
+   deviate (lazier clause deletion, simpler learnt-clause minimization). *)
+
+type clause = {
+  mutable lits : int array; (* Lit.t array; watched literals at slots 0,1 *)
+  learnt : bool;
+  mutable cact : float;
+  mutable deleted : bool;
+}
+
+type watcher = { wclause : clause; blocker : Lit.t }
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+type t = {
+  mutable nvars : int;
+  mutable assign : Bytes.t; (* per var: 0 undef, 1 true, 2 false *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable polarity : Bytes.t; (* saved phase: 1 = last assigned true *)
+  mutable seen : Bytes.t;
+  mutable watches : watcher Vec.Poly.t array; (* indexed by literal *)
+  clauses : clause Vec.Poly.t;
+  learnts : clause Vec.Poly.t;
+  trail : Vec.Int.t;
+  trail_lim : Vec.Int.t;
+  mutable qhead : int;
+  order : Heap.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable model : bool array;
+  mutable has_model : bool;
+  mutable conflict_core : Lit.t list;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+  mutable max_learnts : float;
+  mutable rng : Random.State.t;
+  mutable assumptions : Lit.t array;
+  analyze_toclear : Vec.Int.t;
+  mutable logging : bool;
+  mutable proof_inputs : Lit.t array list; (* reversed *)
+  mutable proof_steps : Proof.step list; (* reversed *)
+}
+
+let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
+
+let create () =
+  {
+    nvars = 0;
+    assign = Bytes.create 0;
+    level = [||];
+    reason = [||];
+    activity = [||];
+    polarity = Bytes.create 0;
+    seen = Bytes.create 0;
+    watches = [||];
+    clauses = Vec.Poly.create ();
+    learnts = Vec.Poly.create ();
+    trail = Vec.Int.create ();
+    trail_lim = Vec.Int.create ();
+    qhead = 0;
+    order = Heap.create ();
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    model = [||];
+    has_model = false;
+    conflict_core = [];
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_literals = 0;
+    max_learnts = 0.0;
+    rng = Random.State.make [| 91648253 |];
+    assumptions = [||];
+    analyze_toclear = Vec.Int.create ();
+    logging = false;
+    proof_inputs = [];
+    proof_steps = [];
+  }
+
+let set_random_seed s seed = s.rng <- Random.State.make [| seed |]
+
+let enable_proof s = s.logging <- true
+
+let log_input s lits =
+  if s.logging then s.proof_inputs <- Array.of_list lits :: s.proof_inputs
+
+let log_learn s lits =
+  if s.logging then s.proof_steps <- Proof.Learn lits :: s.proof_steps
+
+let proof s =
+  if not s.logging then None
+  else
+    Some
+      {
+        Proof.inputs = List.rev s.proof_inputs;
+        steps = List.rev s.proof_steps;
+      }
+let nvars s = s.nvars
+let nclauses s = Vec.Poly.size s.clauses
+let ok s = s.ok
+
+let stats s =
+  {
+    conflicts = s.conflicts;
+    decisions = s.decisions;
+    propagations = s.propagations;
+    restarts = s.restarts;
+    learnt_literals = s.learnt_literals;
+  }
+
+(* -- variable allocation ------------------------------------------------- *)
+
+let grow_bytes b n =
+  if Bytes.length b >= n then b
+  else begin
+    let b' = Bytes.make (max n (2 * max 1 (Bytes.length b))) '\000' in
+    Bytes.blit b 0 b' 0 (Bytes.length b);
+    b'
+  end
+
+let grow_array a n default =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * max 1 (Array.length a))) default in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  s.assign <- grow_bytes s.assign s.nvars;
+  s.polarity <- grow_bytes s.polarity s.nvars;
+  s.seen <- grow_bytes s.seen s.nvars;
+  s.level <- grow_array s.level s.nvars 0;
+  s.reason <- grow_array s.reason s.nvars None;
+  s.activity <- grow_array s.activity s.nvars 0.0;
+  if Array.length s.watches < 2 * s.nvars then begin
+    let w = Array.init (max (2 * s.nvars) (2 * Array.length s.watches))
+        (fun i ->
+          if i < Array.length s.watches then s.watches.(i)
+          else Vec.Poly.create ())
+    in
+    s.watches <- w
+  end;
+  Heap.grow s.order s.nvars;
+  Heap.push s.order v s.activity;
+  v
+
+(* -- assignment queries -------------------------------------------------- *)
+
+(* lbool as int: 1 true, -1 false, 0 undef *)
+let var_value s v =
+  match Bytes.unsafe_get s.assign v with
+  | '\001' -> 1
+  | '\002' -> -1
+  | _ -> 0
+
+let lit_value s l =
+  let v = var_value s (Lit.var l) in
+  if Lit.sign l then v else -v
+
+let decision_level s = Vec.Int.size s.trail_lim
+
+(* -- activities ---------------------------------------------------------- *)
+
+let var_rescale s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then var_rescale s;
+  Heap.decrease s.order v s.activity
+
+let var_decay_all s = s.var_inc <- s.var_inc *. var_decay
+
+let cla_bump s c =
+  c.cact <- c.cact +. s.cla_inc;
+  if c.cact > 1e20 then begin
+    Vec.Poly.iter (fun c -> c.cact <- c.cact *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay_all s = s.cla_inc <- s.cla_inc *. cla_decay
+
+(* -- clause attachment --------------------------------------------------- *)
+
+let attach s c =
+  assert (Array.length c.lits >= 2);
+  let l0 = c.lits.(0) and l1 = c.lits.(1) in
+  Vec.Poly.push s.watches.(Lit.negate l0) { wclause = c; blocker = l1 };
+  Vec.Poly.push s.watches.(Lit.negate l1) { wclause = c; blocker = l0 }
+
+let detach s c =
+  let remove l =
+    Vec.Poly.filter_in_place (fun w -> w.wclause != c) s.watches.(l)
+  in
+  remove (Lit.negate c.lits.(0));
+  remove (Lit.negate c.lits.(1))
+
+let locked s c =
+  let l0 = c.lits.(0) in
+  lit_value s l0 = 1
+  && (match s.reason.(Lit.var l0) with Some r -> r == c | None -> false)
+
+let remove_clause s c =
+  detach s c;
+  c.deleted <- true;
+  if locked s c then s.reason.(Lit.var c.lits.(0)) <- None
+
+(* -- enqueue / backtrack ------------------------------------------------- *)
+
+let unchecked_enqueue s l reason =
+  let v = Lit.var l in
+  assert (var_value s v = 0);
+  Bytes.unsafe_set s.assign v (if Lit.sign l then '\001' else '\002');
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.Int.push s.trail l
+
+let new_decision_level s = Vec.Int.push s.trail_lim (Vec.Int.size s.trail)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.Int.get s.trail_lim lvl in
+    for i = Vec.Int.size s.trail - 1 downto bound do
+      let l = Vec.Int.get s.trail i in
+      let v = Lit.var l in
+      Bytes.unsafe_set s.polarity v (if Lit.sign l then '\001' else '\000');
+      Bytes.unsafe_set s.assign v '\000';
+      s.reason.(v) <- None;
+      Heap.push s.order v s.activity
+    done;
+    s.qhead <- bound;
+    Vec.Int.shrink s.trail bound;
+    Vec.Int.shrink s.trail_lim lvl
+  end
+
+(* -- propagation --------------------------------------------------------- *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < Vec.Int.size s.trail do
+    let p = Vec.Int.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let ws = s.watches.(p) in
+    let i = ref 0 and j = ref 0 in
+    let n = Vec.Poly.size ws in
+    while !i < n do
+      let w = Vec.Poly.get ws !i in
+      if lit_value s w.blocker = 1 then begin
+        Vec.Poly.set ws !j w;
+        incr j;
+        incr i
+      end
+      else begin
+        let c = w.wclause in
+        if c.deleted then incr i (* dropped lazily; see remove_clause *)
+        else begin
+          let false_lit = Lit.negate p in
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          incr i;
+          let first = c.lits.(0) in
+          let w' = { wclause = c; blocker = first } in
+          if first <> w.blocker && lit_value s first = 1 then begin
+            Vec.Poly.set ws !j w';
+            incr j
+          end
+          else begin
+            (* search for a new literal to watch *)
+            let len = Array.length c.lits in
+            let k = ref 2 in
+            let found = ref false in
+            while (not !found) && !k < len do
+              if lit_value s c.lits.(!k) <> -1 then found := true
+              else incr k
+            done;
+            if !found then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Vec.Poly.push s.watches.(Lit.negate c.lits.(1)) w'
+            end
+            else begin
+              Vec.Poly.set ws !j w';
+              incr j;
+              if lit_value s first = -1 then begin
+                (* conflict: flush queue, keep remaining watchers *)
+                confl := Some c;
+                s.qhead <- Vec.Int.size s.trail;
+                while !i < n do
+                  Vec.Poly.set ws !j (Vec.Poly.get ws !i);
+                  incr j;
+                  incr i
+                done
+              end
+              else unchecked_enqueue s first (Some c)
+            end
+          end
+        end
+      end
+    done;
+    Vec.Poly.shrink ws !j
+  done;
+  !confl
+
+(* -- clause addition ----------------------------------------------------- *)
+
+let add_clause s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    log_input s lits;
+    List.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then
+          invalid_arg "Solver.add_clause: unallocated variable")
+      lits;
+    let lits = List.sort_uniq Lit.compare lits in
+    let tautology =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            (Lit.var a = Lit.var b && a <> b) || go rest
+        | _ -> false
+      in
+      go lits
+    in
+    if not tautology then begin
+      let lits =
+        List.filter (fun l -> lit_value s l <> -1) lits
+      in
+      if List.exists (fun l -> lit_value s l = 1) lits then ()
+      else
+        match lits with
+        | [] ->
+            s.ok <- false;
+            log_learn s [||]
+        | [ l ] ->
+            unchecked_enqueue s l None;
+            if propagate s <> None then begin
+              s.ok <- false;
+              log_learn s [||]
+            end
+        | _ ->
+            let c =
+              {
+                lits = Array.of_list lits;
+                learnt = false;
+                cact = 0.0;
+                deleted = false;
+              }
+            in
+            Vec.Poly.push s.clauses c;
+            attach s c
+    end
+  end
+
+(* -- conflict analysis --------------------------------------------------- *)
+
+let seen_get s v = Bytes.unsafe_get s.seen v = '\001'
+let seen_set s v b =
+  Bytes.unsafe_set s.seen v (if b then '\001' else '\000')
+
+(* A learnt literal is redundant if its reason clause exists and every other
+   literal of that reason is already seen or assigned at level 0.  This is
+   MiniSat's "basic" (non-recursive) minimization. *)
+let lit_redundant s q =
+  match s.reason.(Lit.var q) with
+  | None -> false
+  | Some c ->
+      let ok = ref true in
+      Array.iter
+        (fun r ->
+          let v = Lit.var r in
+          if v <> Lit.var q && s.level.(v) > 0 && not (seen_get s v) then
+            ok := false)
+        c.lits;
+      !ok
+
+let analyze s confl =
+  let out_learnt = Vec.Int.create () in
+  Vec.Int.push out_learnt 0 (* slot for the asserting literal *);
+  Vec.Int.clear s.analyze_toclear;
+  let path_c = ref 0 in
+  let p = ref (-1) (* undef *) in
+  let index = ref (Vec.Int.size s.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c =
+      match !confl with
+      | Some c -> c
+      | None -> assert false (* every visited literal has a reason here *)
+    in
+    if c.learnt then cla_bump s c;
+    Array.iter
+      (fun q ->
+        if q <> !p then begin
+          let v = Lit.var q in
+          if (not (seen_get s v)) && s.level.(v) > 0 then begin
+            var_bump s v;
+            seen_set s v true;
+            Vec.Int.push s.analyze_toclear v;
+            if s.level.(v) >= decision_level s then incr path_c
+            else Vec.Int.push out_learnt q
+          end
+        end)
+      c.lits;
+    (* select next literal on the trail to expand *)
+    while not (seen_get s (Lit.var (Vec.Int.get s.trail !index))) do
+      decr index
+    done;
+    p := Vec.Int.get s.trail !index;
+    decr index;
+    confl := s.reason.(Lit.var !p);
+    seen_set s (Lit.var !p) false;
+    decr path_c;
+    if !path_c <= 0 then continue := false
+  done;
+  Vec.Int.set out_learnt 0 (Lit.negate !p);
+  (* minimize: drop redundant non-asserting literals *)
+  let minimized = Vec.Int.create () in
+  Vec.Int.push minimized (Vec.Int.get out_learnt 0);
+  for i = 1 to Vec.Int.size out_learnt - 1 do
+    let q = Vec.Int.get out_learnt i in
+    if not (lit_redundant s q) then Vec.Int.push minimized q
+  done;
+  (* compute backtrack level and move the max-level literal to slot 1 *)
+  let bt_level =
+    if Vec.Int.size minimized = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Vec.Int.size minimized - 1 do
+        if
+          s.level.(Lit.var (Vec.Int.get minimized i))
+          > s.level.(Lit.var (Vec.Int.get minimized !max_i))
+        then max_i := i
+      done;
+      let tmp = Vec.Int.get minimized !max_i in
+      Vec.Int.set minimized !max_i (Vec.Int.get minimized 1);
+      Vec.Int.set minimized 1 tmp;
+      s.level.(Lit.var tmp)
+    end
+  in
+  Vec.Int.iter (fun v -> seen_set s v false) s.analyze_toclear;
+  (minimized, bt_level)
+
+(* Which assumptions force the conflict when assumption [p] is already
+   false: walk the implication graph rooted at p down to decisions. *)
+let analyze_final s p =
+  let out = ref [ p ] in
+  if decision_level s > 0 then begin
+    seen_set s (Lit.var p) true;
+    let lim = Vec.Int.get s.trail_lim 0 in
+    for i = Vec.Int.size s.trail - 1 downto lim do
+      let l = Vec.Int.get s.trail i in
+      let v = Lit.var l in
+      if seen_get s v then begin
+        (match s.reason.(v) with
+        | None -> out := Lit.negate l :: !out
+        | Some c ->
+            Array.iter
+              (fun q ->
+                if s.level.(Lit.var q) > 0 then seen_set s (Lit.var q) true)
+              c.lits);
+        seen_set s v false
+      end
+    done;
+    seen_set s (Lit.var p) false
+  end;
+  s.conflict_core <- !out
+
+(* -- learnt database reduction ------------------------------------------- *)
+
+let reduce_db s =
+  (* Sort worst-first: long low-activity clauses lead, binary clauses
+     trail (they are never deleted). Delete the first half, plus any
+     long clause below the mean activity. *)
+  Vec.Poly.sort
+    (fun a b ->
+      let sa = Array.length a.lits and sb = Array.length b.lits in
+      if sa = 2 && sb = 2 then 0
+      else if sa = 2 then 1
+      else if sb = 2 then -1
+      else compare a.cact b.cact)
+    s.learnts;
+  let n = Vec.Poly.size s.learnts in
+  let extra_lim = s.cla_inc /. float_of_int (max n 1) in
+  let kept = Vec.Poly.create () in
+  let idx = ref 0 in
+  Vec.Poly.iter
+    (fun c ->
+      let doomed =
+        Array.length c.lits > 2
+        && (not (locked s c))
+        && (2 * !idx < n || c.cact < extra_lim)
+      in
+      if doomed then remove_clause s c else Vec.Poly.push kept c;
+      incr idx)
+    s.learnts;
+  Vec.Poly.clear s.learnts;
+  Vec.Poly.iter (fun c -> Vec.Poly.push s.learnts c) kept
+
+let remove_satisfied s (db : clause Vec.Poly.t) =
+  let sat c = Array.exists (fun l -> lit_value s l = 1) c.lits in
+  let kept = Vec.Poly.create () in
+  Vec.Poly.iter
+    (fun c -> if sat c then remove_clause s c else Vec.Poly.push kept c)
+    db;
+  Vec.Poly.clear db;
+  Vec.Poly.iter (fun c -> Vec.Poly.push db c) kept
+
+(* -- branching ----------------------------------------------------------- *)
+
+let pick_branch_var s =
+  let v = ref (-1) in
+  while !v = -1 && not (Heap.is_empty s.order) do
+    let cand = Heap.pop s.order s.activity in
+    if var_value s cand = 0 then v := cand
+  done;
+  !v
+
+(* -- search -------------------------------------------------------------- *)
+
+let luby y x =
+  (* Luby restart sequence: 1 1 2 1 1 2 4 ... scaled by y^k. *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+exception Result of result
+exception Restart
+
+let out_of_budget s ~conflict_limit ~deadline =
+  (conflict_limit >= 0 && s.conflicts >= conflict_limit)
+  || (deadline > 0.0 && Unix.gettimeofday () > deadline)
+
+let search s ~nof_conflicts ~conflict_limit ~deadline =
+  let conflict_c = ref 0 in
+  try
+    while true do
+      (match propagate s with
+      | Some confl ->
+          s.conflicts <- s.conflicts + 1;
+          incr conflict_c;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            log_learn s [||];
+            raise (Result Unsat)
+          end;
+          let learnt, bt_level = analyze s (Some confl) in
+          log_learn s (Vec.Int.to_array learnt);
+          cancel_until s bt_level;
+          s.learnt_literals <- s.learnt_literals + Vec.Int.size learnt;
+          (if Vec.Int.size learnt = 1 then
+             unchecked_enqueue s (Vec.Int.get learnt 0) None
+           else begin
+             let c =
+               {
+                 lits = Vec.Int.to_array learnt;
+                 learnt = true;
+                 cact = 0.0;
+                 deleted = false;
+               }
+             in
+             Vec.Poly.push s.learnts c;
+             attach s c;
+             cla_bump s c;
+             unchecked_enqueue s (Vec.Int.get learnt 0) (Some c)
+           end);
+          var_decay_all s;
+          cla_decay_all s
+      | None ->
+          if out_of_budget s ~conflict_limit ~deadline then
+            raise (Result Unknown);
+          if nof_conflicts >= 0 && !conflict_c >= nof_conflicts then
+            raise Restart;
+          if decision_level s = 0 then remove_satisfied s s.learnts;
+          if
+            float_of_int (Vec.Poly.size s.learnts)
+            -. float_of_int (Vec.Int.size s.trail)
+            >= s.max_learnts
+          then reduce_db s;
+          (* extend with assumptions first, then decide *)
+          let next = ref (-2) in
+          while
+            !next = -2 && decision_level s < Array.length s.assumptions
+          do
+            let p = s.assumptions.(decision_level s) in
+            match lit_value s p with
+            | 1 -> new_decision_level s (* already satisfied: dummy level *)
+            | -1 ->
+                analyze_final s (Lit.negate p);
+                raise (Result Unsat)
+            | _ -> next := p
+          done;
+          if !next = -2 then begin
+            s.decisions <- s.decisions + 1;
+            let v = pick_branch_var s in
+            if v = -1 then begin
+              (* complete model *)
+              s.model <- Array.init s.nvars (fun v -> var_value s v = 1);
+              s.has_model <- true;
+              raise (Result Sat)
+            end;
+            let sign = Bytes.unsafe_get s.polarity v = '\001' in
+            next := Lit.make v sign
+          end;
+          new_decision_level s;
+          unchecked_enqueue s !next None)
+    done;
+    Unknown
+  with
+  | Result r -> r
+  | Restart ->
+      cancel_until s 0;
+      s.restarts <- s.restarts + 1;
+      Unknown
+
+let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
+  if not s.ok then Unsat
+  else begin
+    s.has_model <- false;
+    s.conflict_core <- [];
+    s.assumptions <- Array.of_list assumptions;
+    Array.iter
+      (fun l ->
+        if Lit.var l >= s.nvars then
+          invalid_arg "Solver.solve: assumption on unallocated variable")
+      s.assumptions;
+    cancel_until s 0;
+    (match propagate s with
+    | Some _ ->
+        s.ok <- false;
+        log_learn s [||]
+    | None -> ());
+    if not s.ok then Unsat
+    else begin
+      s.max_learnts <-
+        max 1000.0 (float_of_int (Vec.Poly.size s.clauses) /. 3.0);
+      let result = ref Unknown in
+      let restarts = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        let budget = int_of_float (100.0 *. luby 2.0 !restarts) in
+        (match search s ~nof_conflicts:budget ~conflict_limit ~deadline with
+        | Sat ->
+            result := Sat;
+            finished := true
+        | Unsat ->
+            result := Unsat;
+            finished := true
+        | Unknown ->
+            if out_of_budget s ~conflict_limit ~deadline then begin
+              result := Unknown;
+              finished := true
+            end);
+        s.max_learnts <- s.max_learnts *. 1.05;
+        incr restarts
+      done;
+      cancel_until s 0;
+      !result
+    end
+  end
+
+let value s l =
+  if not s.has_model then invalid_arg "Solver.value: no model";
+  let v = Lit.var l in
+  if v >= Array.length s.model then invalid_arg "Solver.value: bad literal";
+  if Lit.sign l then s.model.(v) else not s.model.(v)
+
+let model s =
+  if not s.has_model then invalid_arg "Solver.model: no model";
+  Array.copy s.model
+
+let unsat_core s = s.conflict_core

@@ -1,0 +1,83 @@
+(** CDCL Boolean-satisfiability solver.
+
+    This is the reasoning engine the paper delegates to Z3: a conflict-driven
+    clause-learning solver in the MiniSat lineage with two-watched-literal
+    propagation, first-UIP conflict analysis with clause minimization, VSIDS
+    branching, phase saving, Luby restarts and learnt-clause database
+    reduction.  It solves incrementally under assumptions, which is what the
+    optimization loop in {!Qxm_opt} uses to tighten cost bounds without
+    re-encoding. *)
+
+type t
+
+type result =
+  | Sat  (** A model was found; query it with {!value} / {!model}. *)
+  | Unsat  (** No model exists under the given assumptions. *)
+  | Unknown  (** Conflict budget or deadline exhausted. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val nvars : t -> int
+val nclauses : t -> int
+(** Number of problem (non-learnt) clauses currently in the database. *)
+
+val ok : t -> bool
+(** [false] once the clause database is unsatisfiable at level 0; all
+    subsequent [solve] calls return [Unsat] immediately. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** Add a clause over existing variables.  Performs level-0 simplification
+    (duplicate removal, tautology detection, falsified-literal stripping).
+    @raise Invalid_argument if a literal mentions an unallocated variable. *)
+
+val solve :
+  ?assumptions:Lit.t list ->
+  ?conflict_limit:int ->
+  ?deadline:float ->
+  t ->
+  result
+(** Solve the current database.  [assumptions] are literals temporarily
+    forced true for this call only.  [conflict_limit] bounds the total
+    number of conflicts explored; [deadline] is an absolute
+    [Unix.gettimeofday]-style timestamp.  Exceeding either yields
+    [Unknown]. *)
+
+val value : t -> Lit.t -> bool
+(** Value of a literal in the most recent model.
+    @raise Invalid_argument if the last [solve] did not return [Sat]. *)
+
+val model : t -> bool array
+(** The most recent model, indexed by variable. *)
+
+val unsat_core : t -> Lit.t list
+(** After [solve ~assumptions] returned [Unsat]: a subset of the assumptions
+    sufficient for unsatisfiability (negated internally and re-negated here,
+    i.e. the returned literals are assumptions that conflict). *)
+
+(** Search statistics, cumulative over the solver's lifetime. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_literals : int;
+}
+
+val stats : t -> stats
+
+val set_random_seed : t -> int -> unit
+(** Seed the (rarely used) random polarity/branching tie-breaking. *)
+
+val enable_proof : t -> unit
+(** Start DRUP proof logging: every clause added from now on is recorded
+    as an input, every learnt clause as a proof step, and an
+    assumption-free [Unsat] answer ends the trace with the empty clause.
+    Enable before adding clauses. *)
+
+val proof : t -> Proof.t option
+(** The trace so far ([None] unless logging was enabled).  Checkable with
+    {!Proof.check} once a solve returned [Unsat] without assumptions —
+    assumption-based UNSAT answers do not end in the empty clause. *)

@@ -1,0 +1,18 @@
+# Insert the final measured table + summary into EXPERIMENTS.md.
+import subprocess
+
+raw = open("results/table1_output.txt").read()
+summary = subprocess.run(
+    ["python3", "results/summarize.py"], capture_output=True, text=True
+).stdout
+
+s = open("EXPERIMENTS.md").read()
+s = s.replace(
+    """```
+(appended by the final run — see results/table1_output.txt)
+```""",
+    "```\n" + raw.rstrip() + "\n```\n\nCSV-derived summary (results/summarize.py):\n\n```\n"
+    + summary.rstrip() + "\n```",
+)
+open("EXPERIMENTS.md", "w").write(s)
+print("EXPERIMENTS.md finalized")

@@ -1,0 +1,26 @@
+# Post-process results/table1.csv into the EXPERIMENTS.md summary numbers.
+import csv, sys
+
+rows = list(csv.DictReader(open("results/table1.csv")))
+tot_min = tot_ibm = tot_orig = 0
+f_min = f_ibm = 0
+counted = 0
+exact_rows = 0
+for r in rows:
+    orig = int(r["original"])
+    cands = [int(r[c]) for c in ("c_min", "c_sub", "c_dis", "c_odd", "c_tri") if r[c]]
+    if not cands:
+        continue
+    best = min(cands)
+    counted += 1
+    tot_orig += orig
+    tot_min += best
+    tot_ibm += int(r["c_ibm"])
+    f_min += best - orig
+    f_ibm += int(r["c_ibm"]) - orig
+    if r["c_min"]:
+        exact_rows += 1
+print(f"benchmarks with a reference: {counted}/25 (minimal column finished on {exact_rows})")
+print(f"total gates: heuristic {tot_ibm} vs best-known {tot_min}: +{100*(tot_ibm/tot_min-1):.0f}%")
+print(f"added cost F: heuristic {f_ibm} vs best-known {f_min}: +{100*(f_ibm/max(1,f_min)-1):.0f}%")
+print("(paper: +45% gates, +104% F)")

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "ibm_qx_mapping"
+    [
+      ("sat", Test_sat.suite);
+      ("encode", Test_encode.suite);
+      ("opt", Test_opt.suite);
+      ("circuit", Test_circuit.suite);
+      ("qasm", Test_qasm.suite);
+      ("arch", Test_arch.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("exact", Test_exact.suite);
+      ("heuristic", Test_heuristic.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("proof", Test_proof.suite);
+      ("costmodel", Test_costmodel.suite);
+    ]

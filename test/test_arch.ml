@@ -1,0 +1,317 @@
+(* Tests for the architecture substrate: Coupling, Devices, Permutation,
+   Swap_count, Subsets, Paths. *)
+
+open Test_util
+module Coupling = Qxm_arch.Coupling
+module Devices = Qxm_arch.Devices
+module Permutation = Qxm_arch.Permutation
+module Swap_count = Qxm_arch.Swap_count
+module Subsets = Qxm_arch.Subsets
+module Paths = Qxm_arch.Paths
+
+(* -- Coupling ----------------------------------------------------------- *)
+
+let test_qx4_map () =
+  (* Fig. 2 / Ex. 2, shifted to 0-based *)
+  let cm = Devices.qx4 in
+  Alcotest.(check int) "5 qubits" 5 (Coupling.num_qubits cm);
+  Alcotest.(check (list (pair int int)))
+    "edges"
+    [ (1, 0); (2, 0); (2, 1); (3, 2); (3, 4); (4, 2) ]
+    (Coupling.edges cm);
+  Alcotest.(check bool) "allows 1->0" true (Coupling.allows cm 1 0);
+  Alcotest.(check bool) "not 0->1" false (Coupling.allows cm 0 1);
+  Alcotest.(check bool) "coupled 0,1" true (Coupling.coupled cm 0 1);
+  Alcotest.(check bool) "not coupled 0,3" false (Coupling.coupled cm 0 3);
+  Alcotest.(check (list int)) "neighbors of 2" [ 0; 1; 3; 4 ]
+    (Coupling.neighbors cm 2);
+  Alcotest.(check bool) "connected" true (Coupling.is_connected cm)
+
+let test_coupling_validation () =
+  Alcotest.(check bool) "self loop rejected" true
+    (try
+       ignore (Coupling.create ~num_qubits:2 [ (0, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range rejected" true
+    (try
+       ignore (Coupling.create ~num_qubits:2 [ (0, 5) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_triangles_qx4 () =
+  Alcotest.(check (list (triple int int int)))
+    "two triangles"
+    [ (0, 1, 2); (2, 3, 4) ]
+    (Coupling.triangles Devices.qx4)
+
+let test_induce () =
+  let sub, back = Coupling.induce Devices.qx4 [ 0; 1; 2 ] in
+  Alcotest.(check int) "3 qubits" 3 (Coupling.num_qubits sub);
+  Alcotest.(check (list (pair int int)))
+    "renumbered edges"
+    [ (1, 0); (2, 0); (2, 1) ]
+    (Coupling.edges sub);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 2 |] back;
+  let sub2, back2 = Coupling.induce Devices.qx4 [ 2; 3; 4 ] in
+  Alcotest.(check (array int)) "back map 2" [| 2; 3; 4 |] back2;
+  Alcotest.(check bool) "connected" true (Coupling.is_connected sub2)
+
+let test_subset_connected () =
+  let cm = Devices.qx4 in
+  Alcotest.(check bool) "0,1,2 connected" true
+    (Coupling.subset_connected cm [ 0; 1; 2 ]);
+  Alcotest.(check bool) "0,1,3,4 disconnected" false
+    (Coupling.subset_connected cm [ 0; 1; 3; 4 ]);
+  Alcotest.(check bool) "empty connected" true
+    (Coupling.subset_connected cm [])
+
+let test_to_dot () =
+  let dot = Coupling.to_dot Devices.qx4 in
+  Alcotest.(check bool) "digraph" true
+    (contains_substring dot "digraph");
+  Alcotest.(check bool) "edge" true (contains_substring dot "p1 -> p0")
+
+(* -- Devices ------------------------------------------------------------ *)
+
+let test_device_shapes () =
+  Alcotest.(check int) "qx2" 5 (Coupling.num_qubits Devices.qx2);
+  Alcotest.(check int) "qx5" 16 (Coupling.num_qubits Devices.qx5);
+  Alcotest.(check int) "tokyo" 20 (Coupling.num_qubits Devices.tokyo);
+  List.iter
+    (fun cm ->
+      Alcotest.(check bool) "connected" true (Coupling.is_connected cm))
+    [ Devices.qx2; Devices.qx4; Devices.qx5; Devices.tokyo ]
+
+let test_tokyo_bidirectional () =
+  let cm = Devices.tokyo in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "reverse present" true (Coupling.allows cm b a))
+    (Coupling.edges cm)
+
+let test_synthetic_devices () =
+  let line = Devices.line 5 in
+  Alcotest.(check int) "line edges" 4 (List.length (Coupling.edges line));
+  let ring = Devices.ring 5 in
+  Alcotest.(check int) "ring edges" 5 (List.length (Coupling.edges ring));
+  let grid = Devices.grid ~rows:2 ~cols:3 in
+  Alcotest.(check int) "grid qubits" 6 (Coupling.num_qubits grid);
+  Alcotest.(check int) "grid edges" 7 (List.length (Coupling.edges grid));
+  let star = Devices.star 4 in
+  Alcotest.(check int) "star degree" 3 (Coupling.degree star 0)
+
+let test_by_name () =
+  Alcotest.(check bool) "qx4" true (Devices.by_name "qx4" <> None);
+  Alcotest.(check bool) "line7" true
+    (match Devices.by_name "line7" with
+    | Some cm -> Coupling.num_qubits cm = 7
+    | None -> false);
+  Alcotest.(check bool) "unknown" true (Devices.by_name "nope" = None)
+
+let test_all_fully_directed () =
+  let cm = Devices.all_fully_directed Devices.qx4 in
+  Alcotest.(check bool) "0->1 now allowed" true (Coupling.allows cm 0 1)
+
+(* -- Permutation --------------------------------------------------------- *)
+
+let perm_gen n =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100000 in
+    return
+      (let rng = Random.State.make [| seed |] in
+       let p = Array.init n Fun.id in
+       for i = n - 1 downto 1 do
+         let j = Random.State.int rng (i + 1) in
+         let tmp = p.(i) in
+         p.(i) <- p.(j);
+         p.(j) <- tmp
+       done;
+       p))
+
+let test_identity () =
+  Alcotest.(check bool) "id" true
+    (Permutation.is_identity (Permutation.identity 5));
+  Alcotest.(check bool) "valid" true
+    (Permutation.is_valid (Permutation.identity 5));
+  Alcotest.(check bool) "invalid" false (Permutation.is_valid [| 0; 0 |])
+
+let perm_inverse_roundtrip =
+  qtest ~count:100 "compose p (inverse p) = id" (perm_gen 6) (fun p ->
+      Permutation.is_identity (Permutation.compose p (Permutation.inverse p))
+      && Permutation.is_identity
+           (Permutation.compose (Permutation.inverse p) p))
+
+let perm_rank_roundtrip =
+  qtest ~count:200 "unrank (rank p) = p" (perm_gen 5) (fun p ->
+      Permutation.unrank 5 (Permutation.rank p) = p)
+
+let test_all_permutations () =
+  let perms = Permutation.all 4 in
+  Alcotest.(check int) "4! = 24" 24 (List.length perms);
+  Alcotest.(check bool) "identity first" true
+    (Permutation.is_identity (List.hd perms));
+  Alcotest.(check int) "all distinct" 24
+    (List.length (List.sort_uniq compare perms))
+
+let test_swap_after () =
+  let p = Permutation.identity 3 in
+  let p = Permutation.swap_after p 0 1 in
+  Alcotest.(check (array int)) "transposition" [| 1; 0; 2 |] p;
+  let p = Permutation.swap_after p 1 2 in
+  (* content of 0 moved to 1, now to 2 *)
+  Alcotest.(check (array int)) "chained" [| 2; 0; 1 |] p
+
+let test_count_transpositions () =
+  Alcotest.(check int) "identity 0" 0
+    (Permutation.count_transpositions (Permutation.identity 4));
+  Alcotest.(check int) "swap 1" 1
+    (Permutation.count_transpositions [| 1; 0; 2 |]);
+  Alcotest.(check int) "3-cycle 2" 2
+    (Permutation.count_transpositions [| 1; 2; 0 |])
+
+let test_pp_cycles () =
+  Alcotest.(check string) "id" "id"
+    (Format.asprintf "%a" Permutation.pp (Permutation.identity 3));
+  Alcotest.(check string) "cycle" "(0 1)"
+    (Format.asprintf "%a" Permutation.pp [| 1; 0; 2 |])
+
+(* -- Swap_count ---------------------------------------------------------- *)
+
+let test_swap_count_qx4 () =
+  let table = Swap_count.compute Devices.qx4 in
+  Alcotest.(check int) "identity free" 0
+    (Swap_count.swaps table (Permutation.identity 5));
+  (* coupled transposition costs one swap *)
+  Alcotest.(check int) "adjacent swap" 1
+    (Swap_count.swaps table [| 1; 0; 2; 3; 4 |]);
+  (* uncoupled transposition (0,3) costs more than one *)
+  Alcotest.(check bool) "far swap > 1" true
+    (Swap_count.swaps table [| 3; 1; 2; 0; 4 |] > 1);
+  Alcotest.(check int) "120 permutations reachable" 120
+    (List.length (Swap_count.permutations_with_cost table))
+
+let swap_sequences_realize_permutation =
+  qtest ~count:150 "sequence replay equals the permutation" (perm_gen 5)
+    (fun p ->
+      let table = Swap_count.compute Devices.qx4 in
+      let seq = Swap_count.sequence table p in
+      List.length seq = Swap_count.swaps table p
+      && List.fold_left
+           (fun acc (a, b) -> Permutation.swap_after acc a b)
+           (Permutation.identity 5) seq
+         = p)
+
+let swap_count_lower_bound =
+  qtest ~count:100 "graph swaps >= unrestricted transpositions"
+    (perm_gen 5) (fun p ->
+      let table = Swap_count.compute Devices.qx4 in
+      Swap_count.swaps table p >= Permutation.count_transpositions p)
+
+let test_swap_sequences_use_coupled_pairs () =
+  let table = Swap_count.compute Devices.qx4 in
+  List.iter
+    (fun (p, _) ->
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool) "coupled" true
+            (Coupling.coupled Devices.qx4 a b))
+        (Swap_count.sequence table p))
+    (Swap_count.permutations_with_cost table)
+
+let test_swap_count_line () =
+  (* reversing a 3-line needs 3 swaps *)
+  let table = Swap_count.compute (Devices.line 3) in
+  Alcotest.(check int) "reverse line3" 3 (Swap_count.swaps table [| 2; 1; 0 |])
+
+(* -- Subsets ------------------------------------------------------------- *)
+
+let test_choose () =
+  Alcotest.(check int) "C(5,2)" 10
+    (List.length (Subsets.choose 2 [ 0; 1; 2; 3; 4 ]));
+  Alcotest.(check (list (list int))) "C(3,2) explicit"
+    [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ]
+    (Subsets.choose 2 [ 0; 1; 2 ])
+
+let test_example9 () =
+  (* Ex. 9: 4-subsets of QX4 — 5 total, 4 connected (all contain p2) *)
+  let cm = Devices.qx4 in
+  Alcotest.(check int) "all" 5 (Subsets.count_all cm 4);
+  Alcotest.(check int) "connected" 4 (Subsets.count_connected cm 4);
+  List.iter
+    (fun subset ->
+      Alcotest.(check bool) "contains p2" true (List.mem 2 subset))
+    (Subsets.connected cm 4)
+
+let subsets_are_connected =
+  qtest ~count:30 "every returned subset is connected"
+    QCheck2.Gen.(int_range 1 5)
+    (fun n ->
+      List.for_all
+        (Coupling.subset_connected Devices.qx4)
+        (Subsets.connected Devices.qx4 n))
+
+(* -- Paths ---------------------------------------------------------------- *)
+
+let test_paths_qx4 () =
+  let paths = Paths.compute Devices.qx4 in
+  Alcotest.(check int) "self" 0 (Paths.distance paths 0 0);
+  Alcotest.(check int) "adjacent" 1 (Paths.distance paths 0 1);
+  Alcotest.(check int) "0 to 3" 2 (Paths.distance paths 0 3);
+  Alcotest.(check int) "diameter" 2 (Paths.diameter paths)
+
+let test_cnot_cost () =
+  let paths = Paths.compute Devices.qx4 in
+  Alcotest.(check int) "native" 1 (Paths.cnot_cost paths ~control:1 ~target:0);
+  Alcotest.(check int) "flipped" 5 (Paths.cnot_cost paths ~control:0 ~target:1)
+
+let test_swap_path () =
+  let paths = Paths.compute (Devices.line 5) in
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] (Paths.swap_path paths 0 3)
+
+let paths_triangle_inequality =
+  qtest ~count:100 "triangle inequality"
+    QCheck2.Gen.(
+      let* a = int_range 0 4 in
+      let* b = int_range 0 4 in
+      let* c = int_range 0 4 in
+      return (a, b, c))
+    (fun (a, b, c) ->
+      let paths = Paths.compute Devices.qx4 in
+      Paths.distance paths a c
+      <= Paths.distance paths a b + Paths.distance paths b c)
+
+let suite =
+  [
+    ("qx4 coupling map (Fig. 2)", `Quick, test_qx4_map);
+    ("coupling validation", `Quick, test_coupling_validation);
+    ("qx4 triangles", `Quick, test_triangles_qx4);
+    ("induce", `Quick, test_induce);
+    ("subset connectivity", `Quick, test_subset_connected);
+    ("to_dot", `Quick, test_to_dot);
+    ("device shapes", `Quick, test_device_shapes);
+    ("tokyo bidirectional", `Quick, test_tokyo_bidirectional);
+    ("synthetic devices", `Quick, test_synthetic_devices);
+    ("by_name", `Quick, test_by_name);
+    ("all_fully_directed", `Quick, test_all_fully_directed);
+    ("permutation identity", `Quick, test_identity);
+    perm_inverse_roundtrip;
+    perm_rank_roundtrip;
+    ("all permutations", `Quick, test_all_permutations);
+    ("swap_after", `Quick, test_swap_after);
+    ("count transpositions", `Quick, test_count_transpositions);
+    ("cycle notation", `Quick, test_pp_cycles);
+    ("swap counts on qx4", `Quick, test_swap_count_qx4);
+    swap_sequences_realize_permutation;
+    swap_count_lower_bound;
+    ("sequences use coupled pairs", `Quick,
+     test_swap_sequences_use_coupled_pairs);
+    ("swap count line3", `Quick, test_swap_count_line);
+    ("choose", `Quick, test_choose);
+    ("subset pruning (Ex. 9)", `Quick, test_example9);
+    subsets_are_connected;
+    ("paths qx4", `Quick, test_paths_qx4);
+    ("cnot cost", `Quick, test_cnot_cost);
+    ("swap path", `Quick, test_swap_path);
+    paths_triangle_inequality;
+  ]

@@ -1,0 +1,221 @@
+(* Tests for the benchmark substrate: Mct, Generator, Suite, Examples. *)
+
+open Test_util
+module Mct = Qxm_benchmarks.Mct
+module Generator = Qxm_benchmarks.Generator
+module Suite = Qxm_benchmarks.Suite
+module Examples = Qxm_benchmarks.Examples
+module Circuit = Qxm_circuit.Circuit
+module Unitary = Qxm_circuit.Unitary
+
+(* -- Mct ------------------------------------------------------------------ *)
+
+let test_mct_validation () =
+  let bad gates =
+    try
+      ignore (Mct.create 3 gates);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "duplicate operands" true
+    (bad [ { Mct.controls = [ 0 ]; target = 0 } ]);
+  Alcotest.(check bool) "out of range" true
+    (bad [ { Mct.controls = []; target = 5 } ])
+
+let test_mct_simulate () =
+  (* CNOT(0 -> 1): |01> (q0=1) becomes |11> *)
+  let m = Mct.create 2 [ { Mct.controls = [ 0 ]; target = 1 } ] in
+  Alcotest.(check int) "cnot fires" 3 (Mct.simulate m 1);
+  Alcotest.(check int) "cnot idle" 0 (Mct.simulate m 0);
+  (* Toffoli fires only when both controls set *)
+  let t = Mct.create 3 [ { Mct.controls = [ 0; 1 ]; target = 2 } ] in
+  Alcotest.(check int) "toffoli fires" 7 (Mct.simulate t 3);
+  Alcotest.(check int) "toffoli idle" 1 (Mct.simulate t 1)
+
+let test_mct_permutation_bijective () =
+  let m =
+    Mct.create 3
+      [
+        { Mct.controls = [ 0; 1 ]; target = 2 };
+        { Mct.controls = [ 2 ]; target = 0 };
+        { Mct.controls = []; target = 1 };
+      ]
+  in
+  let p = Mct.permutation m in
+  Alcotest.(check int) "bijective" 8
+    (List.length (List.sort_uniq compare (Array.to_list p)))
+
+let complex_close a b = Complex.norm (Complex.sub a b) < 1e-7
+
+(* The decomposition of an MCT netlist must implement exactly the
+   classical permutation of the reversible function, with no phases. *)
+let mct_decomposition_exact mct =
+  let circuit = Mct.to_circuit mct in
+  let u = Unitary.unitary circuit in
+  let perm = Mct.permutation mct in
+  let d = Array.length perm in
+  let ok = ref true in
+  for col = 0 to d - 1 do
+    for row = 0 to d - 1 do
+      let expected =
+        if row = perm.(col) then Complex.one else Complex.zero
+      in
+      if not (complex_close u.(row).(col) expected) then ok := false
+    done
+  done;
+  !ok
+
+let test_toffoli_decomposition_exact () =
+  let m = Mct.create 3 [ { Mct.controls = [ 0; 1 ]; target = 2 } ] in
+  Alcotest.(check bool) "toffoli = permutation matrix" true
+    (mct_decomposition_exact m);
+  let s, c = Mct.gate_counts m in
+  Alcotest.(check (pair int int)) "counts (9,6)" (9, 6) (s, c);
+  let circuit = Mct.to_circuit m in
+  Alcotest.(check int) "singles" 9 (Circuit.count_singles circuit);
+  Alcotest.(check int) "cnots" 6 (Circuit.count_cnots circuit)
+
+let test_c3x_decomposition_exact () =
+  let m =
+    Mct.create 5 [ { Mct.controls = [ 0; 1; 2 ]; target = 3 } ]
+  in
+  Alcotest.(check bool) "c3x = permutation matrix" true
+    (mct_decomposition_exact m);
+  let s, c = Mct.gate_counts m in
+  Alcotest.(check (pair int int)) "counts (36,24)" (36, 24) (s, c)
+
+let test_c3x_needs_ancilla () =
+  let m = Mct.create 4 [ { Mct.controls = [ 0; 1; 2 ]; target = 3 } ] in
+  Alcotest.(check bool) "raises without free qubit" true
+    (try
+       ignore (Mct.to_circuit m);
+       false
+     with Invalid_argument _ -> true)
+
+let random_mct_decompositions_exact =
+  qtest ~count:25 "random MCT netlists decompose exactly"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let m =
+        Generator.reversible ~seed ~qubits:4 ~toffolis:2 ~cnots:3 ~nots:1
+      in
+      mct_decomposition_exact m)
+
+(* -- Generator ------------------------------------------------------------- *)
+
+let test_generator_deterministic () =
+  let a = Generator.reversible ~seed:5 ~qubits:4 ~toffolis:2 ~cnots:3 ~nots:1 in
+  let b = Generator.reversible ~seed:5 ~qubits:4 ~toffolis:2 ~cnots:3 ~nots:1 in
+  Alcotest.(check bool) "same netlist" true (a.Mct.gates = b.Mct.gates);
+  let c = Generator.reversible ~seed:6 ~qubits:4 ~toffolis:2 ~cnots:3 ~nots:1 in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Mct.gates <> c.Mct.gates)
+
+let generator_counts =
+  qtest ~count:50 "generated netlists have the requested gate counts"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000 in
+      let* t = int_range 0 3 in
+      let* c = int_range 0 5 in
+      let* n = int_range 0 3 in
+      return (seed, t, max c (if t + c + n = 0 then 1 else c), n))
+    (fun (seed, t, c, n) ->
+      let m = Generator.reversible ~seed ~qubits:4 ~toffolis:t ~cnots:c ~nots:n in
+      let counts = (List.length (List.filter (fun g -> List.length g.Mct.controls = 2) m.Mct.gates),
+                    List.length (List.filter (fun g -> List.length g.Mct.controls = 1) m.Mct.gates),
+                    List.length (List.filter (fun g -> g.Mct.controls = []) m.Mct.gates)) in
+      counts = (t, c, n))
+
+let generator_no_immediate_duplicates =
+  qtest ~count:50 "no gate is immediately repeated"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      let m =
+        Generator.reversible ~seed ~qubits:4 ~toffolis:3 ~cnots:6 ~nots:2
+      in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> a <> b && ok rest
+        | _ -> true
+      in
+      ok m.Mct.gates)
+
+(* -- Suite ------------------------------------------------------------------ *)
+
+let test_suite_size_and_names () =
+  Alcotest.(check int) "25 benchmarks" 25 (List.length (Suite.all ()));
+  Alcotest.(check bool) "by_name finds" true
+    (Suite.by_name "3_17_13" <> None);
+  Alcotest.(check bool) "by_name misses" true (Suite.by_name "nope" = None);
+  Alcotest.(check int) "names list" 25 (List.length Suite.names)
+
+let test_suite_matches_paper_counts () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      Alcotest.(check int)
+        (e.name ^ " qubits")
+        e.paper.n
+        (Circuit.num_qubits e.circuit);
+      Alcotest.(check int)
+        (e.name ^ " singles")
+        e.paper.singles
+        (Circuit.count_singles e.circuit);
+      Alcotest.(check int)
+        (e.name ^ " cnots")
+        e.paper.cnots
+        (Circuit.count_cnots e.circuit))
+    (Suite.all ())
+
+let test_suite_decompositions_exact () =
+  (* every reconstructed benchmark decomposes to exactly its reversible
+     permutation — only check the 3- and 4-qubit ones to keep it quick *)
+  List.iter
+    (fun (e : Suite.entry) ->
+      if e.paper.n <= 4 then
+        Alcotest.(check bool) (e.name ^ " exact") true
+          (mct_decomposition_exact e.mct))
+    (Suite.all ())
+
+let test_suite_small_subset () =
+  let small = Suite.small () in
+  Alcotest.(check bool) "non-empty" true (small <> []);
+  List.iter
+    (fun (e : Suite.entry) ->
+      Alcotest.(check bool) "cnots <= 16" true (e.paper.cnots <= 16))
+    small
+
+(* -- Examples ------------------------------------------------------------- *)
+
+let test_fig1a_shape () =
+  let c = Examples.fig1a in
+  Alcotest.(check int) "4 qubits" 4 (Circuit.num_qubits c);
+  Alcotest.(check int) "8 gates" 8 (Circuit.length c);
+  Alcotest.(check int) "3 singles" 3 (Circuit.count_singles c);
+  Alcotest.(check int) "5 cnots" 5 (Circuit.count_cnots c)
+
+let test_example4 () =
+  (* the two assignments the paper gives must satisfy Φ *)
+  Alcotest.(check bool) "x=(1,0,1)" true
+    (Examples.example4_phi (true, false, true));
+  Alcotest.(check bool) "x=(0,0,0)" true
+    (Examples.example4_phi (false, false, false))
+
+let suite =
+  [
+    ("mct validation", `Quick, test_mct_validation);
+    ("mct simulate", `Quick, test_mct_simulate);
+    ("mct permutation bijective", `Quick, test_mct_permutation_bijective);
+    ("toffoli decomposition exact", `Quick, test_toffoli_decomposition_exact);
+    ("c3x decomposition exact", `Quick, test_c3x_decomposition_exact);
+    ("c3x needs ancilla", `Quick, test_c3x_needs_ancilla);
+    random_mct_decompositions_exact;
+    ("generator deterministic", `Quick, test_generator_deterministic);
+    generator_counts;
+    generator_no_immediate_duplicates;
+    ("suite size and names", `Quick, test_suite_size_and_names);
+    ("suite matches paper gate counts", `Quick,
+     test_suite_matches_paper_counts);
+    ("suite decompositions exact", `Slow, test_suite_decompositions_exact);
+    ("suite small subset", `Quick, test_suite_small_subset);
+    ("fig1a shape", `Quick, test_fig1a_shape);
+    ("example 4 formula", `Quick, test_example4);
+  ]

@@ -1,0 +1,403 @@
+(* Tests for the circuit IR: Gate, Circuit, Layers, Decompose, Unitary,
+   Equiv, Draw. *)
+
+open Test_util
+module Gate = Qxm_circuit.Gate
+module Circuit = Qxm_circuit.Circuit
+module Layers = Qxm_circuit.Layers
+module Decompose = Qxm_circuit.Decompose
+module Unitary = Qxm_circuit.Unitary
+module Equiv = Qxm_circuit.Equiv
+module Draw = Qxm_circuit.Draw
+module Examples = Qxm_benchmarks.Examples
+
+(* -- Gate -------------------------------------------------------------- *)
+
+let test_gate_qubits () =
+  Alcotest.(check (list int)) "single" [ 2 ]
+    (Gate.qubits (Gate.Single (Gate.H, 2)));
+  Alcotest.(check (list int)) "cnot" [ 0; 3 ] (Gate.qubits (Gate.Cnot (0, 3)));
+  Alcotest.(check (list int)) "swap" [ 1; 2 ] (Gate.qubits (Gate.Swap (1, 2)));
+  Alcotest.(check int) "max" 3 (Gate.max_qubit (Gate.Cnot (0, 3)))
+
+let test_gate_map_qubits () =
+  let g = Gate.map_qubits (fun q -> q + 1) (Gate.Cnot (0, 1)) in
+  Alcotest.(check bool) "shifted" true (Gate.equal g (Gate.Cnot (1, 2)));
+  Alcotest.check_raises "collapse rejected"
+    (Invalid_argument "Gate.map_qubits: CNOT on a single qubit") (fun () ->
+      ignore (Gate.map_qubits (fun _ -> 0) (Gate.Cnot (0, 1))))
+
+let complex_eq ?(eps = 1e-9) a b =
+  Complex.norm (Complex.sub a b) <= eps
+
+let mat_is_unitary m =
+  let d = Array.length m in
+  let md = Unitary.mat_dagger m in
+  let prod = Unitary.mat_mul m md in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      let expected = if i = j then Complex.one else Complex.zero in
+      if not (complex_eq prod.(i).(j) expected) then ok := false
+    done
+  done;
+  !ok
+
+let all_kinds =
+  [
+    Gate.I; Gate.X; Gate.Y; Gate.Z; Gate.H; Gate.S; Gate.Sdg; Gate.T;
+    Gate.Tdg; Gate.Rx 0.7; Gate.Ry 1.3; Gate.Rz (-0.4);
+    Gate.U (0.3, 1.1, -2.0);
+  ]
+
+let test_single_matrices_unitary () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Gate.single_kind_name k ^ " unitary")
+        true
+        (mat_is_unitary (Gate.single_matrix k)))
+    all_kinds
+
+let test_u_params_consistent () =
+  (* U(u_params k) must equal the gate's matrix up to global phase *)
+  List.iter
+    (fun k ->
+      let t, p, l = Gate.u_params k in
+      let direct = Gate.single_matrix k in
+      let via_u = Gate.single_matrix (Gate.U (t, p, l)) in
+      Alcotest.(check bool)
+        (Gate.single_kind_name k ^ " via u3")
+        true
+        (Unitary.equal_up_to_phase direct via_u))
+    all_kinds
+
+(* -- Circuit ----------------------------------------------------------- *)
+
+let test_circuit_validation () =
+  Alcotest.(check bool) "rejects out-of-range" true
+    (try
+       ignore (Circuit.create 2 [ Gate.Cnot (0, 2) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects self-cnot via add" true
+    (try
+       ignore (Circuit.add_cnot (Circuit.empty 2) ~control:1 ~target:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_circuit_counts () =
+  let c = Examples.fig1a in
+  Alcotest.(check int) "singles" 3 (Circuit.count_singles c);
+  Alcotest.(check int) "cnots" 5 (Circuit.count_cnots c);
+  Alcotest.(check int) "original cost" 8 (Circuit.original_cost c);
+  Alcotest.(check int) "length" 8 (Circuit.length c);
+  Alcotest.(check (list int)) "used" [ 0; 1; 2; 3 ] (Circuit.used_qubits c)
+
+let test_without_singles () =
+  let c = Circuit.without_singles Examples.fig1a in
+  Alcotest.(check int) "only cnots" 5 (Circuit.length c);
+  Alcotest.(check int) "no singles" 0 (Circuit.count_singles c);
+  Alcotest.(check (list (pair int int)))
+    "fig1b cnots"
+    [ (2, 3); (0, 1); (1, 2); (0, 2); (2, 1) ]
+    (Circuit.cnots c)
+
+let test_original_cost_rejects_swaps () =
+  let c = Circuit.create 2 [ Gate.Swap (0, 1) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Circuit.original_cost c);
+       false
+     with Invalid_argument _ -> true)
+
+let test_interacting_pairs () =
+  Alcotest.(check (list (pair int int)))
+    "pairs"
+    [ (0, 1); (0, 2); (1, 2); (2, 3) ]
+    (Circuit.interacting_pairs Examples.fig1a)
+
+let test_concat () =
+  let a = Circuit.create 2 [ Gate.Single (Gate.H, 0) ] in
+  let b = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  Alcotest.(check int) "concat" 2 (Circuit.length (Circuit.concat a b));
+  let c3 = Circuit.empty 3 in
+  Alcotest.(check bool) "mismatch rejected" true
+    (try
+       ignore (Circuit.concat a c3);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- Layers ------------------------------------------------------------ *)
+
+let test_layers_fig1b () =
+  (* Ex. 10: g1,g2 disjoint; permutations before g3,g4,g5 *)
+  let cnots = Circuit.cnots Examples.fig1b in
+  let layers = Layers.of_pairs cnots in
+  Alcotest.(check (list int)) "layer ids" [ 0; 0; 1; 2; 3 ] layers;
+  Alcotest.(check (list int)) "starts" [ 2; 3; 4 ] (Layers.starts layers);
+  Alcotest.(check int) "count" 4 (Layers.count layers)
+
+let test_triangle_runs_fig1b () =
+  (* Ex. 10: qubit triangle G' = {g2} *)
+  let cnots = Circuit.cnots Examples.fig1b in
+  Alcotest.(check (list int)) "runs start at g2" [ 1 ]
+    (Layers.run_starts_bounded ~k:3 cnots)
+
+let test_layers_empty () =
+  Alcotest.(check (list int)) "empty" [] (Layers.of_pairs []);
+  Alcotest.(check int) "count 0" 0 (Layers.count [])
+
+let layers_monotone =
+  qtest ~count:100 "layer indices are non-decreasing and start at 0"
+    QCheck2.Gen.(
+      list_size (int_range 1 30)
+        (let* a = int_range 0 4 in
+         let* b = int_range 0 4 in
+         return (a, if b = a then (a + 1) mod 5 else b)))
+    (fun pairs ->
+      let layers = Layers.of_pairs pairs in
+      match layers with
+      | [] -> pairs = []
+      | first :: _ ->
+          first = 0
+          &&
+          let rec mono = function
+            | a :: (b :: _ as rest) -> b - a >= 0 && b - a <= 1 && mono rest
+            | _ -> true
+          in
+          mono layers)
+
+(* -- Decompose --------------------------------------------------------- *)
+
+let one_directional a b c t = (c, t) = (a, b)
+let bidirectional c t = (c, t) = (0, 1) || (c, t) = (1, 0)
+
+let test_swap_cost_one_directional () =
+  let gates = Decompose.swap_gates ~allowed:(one_directional 0 1) 0 1 in
+  Alcotest.(check int) "7 gates" 7 (List.length gates);
+  let gates' = Decompose.swap_gates ~allowed:(one_directional 1 0) 0 1 in
+  Alcotest.(check int) "7 gates either way" 7 (List.length gates')
+
+let test_swap_cost_bidirectional () =
+  let gates = Decompose.swap_gates ~allowed:bidirectional 0 1 in
+  Alcotest.(check int) "3 gates" 3 (List.length gates)
+
+let test_cnot_respecting () =
+  Alcotest.(check int) "native" 1
+    (List.length
+       (Decompose.cnot_respecting ~allowed:(one_directional 0 1) ~control:0
+          ~target:1));
+  Alcotest.(check int) "flipped" 5
+    (List.length
+       (Decompose.cnot_respecting ~allowed:(one_directional 0 1) ~control:1
+          ~target:0));
+  Alcotest.(check bool) "uncoupled rejected" true
+    (try
+       ignore
+         (Decompose.cnot_respecting
+            ~allowed:(fun _ _ -> false)
+            ~control:0 ~target:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_swap_decomposition_is_swap () =
+  (* unitary check: decomposed SWAP equals the SWAP gate exactly *)
+  List.iter
+    (fun allowed ->
+      let swap = Circuit.create 2 [ Gate.Swap (0, 1) ] in
+      let dec = Decompose.elementary ~allowed swap in
+      Alcotest.(check bool) "swap unitary preserved" true
+        (Unitary.equal_strict (Unitary.unitary swap) (Unitary.unitary dec)))
+    [ one_directional 0 1; one_directional 1 0; bidirectional ]
+
+let test_flip_decomposition_is_cnot () =
+  let cx = Circuit.create 2 [ Gate.Cnot (1, 0) ] in
+  let dec = Decompose.elementary ~allowed:(one_directional 0 1) cx in
+  Alcotest.(check int) "5 gates" 5 (Circuit.length dec);
+  Alcotest.(check bool) "cnot unitary preserved" true
+    (Unitary.equal_strict (Unitary.unitary cx) (Unitary.unitary dec))
+
+let test_added_cost () =
+  let original = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let mapped =
+    Circuit.create 2 [ Gate.Swap (0, 1); Gate.Cnot (0, 1) ]
+  in
+  Alcotest.(check int) "swap costs 7" 7
+    (Decompose.added_cost ~original ~mapped)
+
+(* -- Unitary ------------------------------------------------------------ *)
+
+let test_cnot_truth_table () =
+  let c = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  (* qubit 0 = LSB is control *)
+  List.iter
+    (fun (input, expected) ->
+      let out = Unitary.run c (Unitary.basis 2 input) in
+      Alcotest.(check bool)
+        (Printf.sprintf "|%d> -> |%d>" input expected)
+        true
+        (complex_eq out.(expected) Complex.one))
+    [ (0, 0); (1, 3); (2, 2); (3, 1) ]
+
+let test_swap_truth_table () =
+  let c = Circuit.create 2 [ Gate.Swap (0, 1) ] in
+  List.iter
+    (fun (input, expected) ->
+      let out = Unitary.run c (Unitary.basis 2 input) in
+      Alcotest.(check bool)
+        (Printf.sprintf "|%d> -> |%d>" input expected)
+        true
+        (complex_eq out.(expected) Complex.one))
+    [ (0, 0); (1, 2); (2, 1); (3, 3) ]
+
+let test_hh_is_identity () =
+  let c =
+    Circuit.create 1 [ Gate.Single (Gate.H, 0); Gate.Single (Gate.H, 0) ]
+  in
+  Alcotest.(check bool) "HH = I" true
+    (Unitary.equal_strict (Unitary.unitary c)
+       (Unitary.unitary (Circuit.empty 1)))
+
+let test_permutation_matrix () =
+  (* moving wire 0 to wire 1 equals a SWAP on 2 qubits *)
+  let p = Unitary.permutation_matrix 2 (fun w -> 1 - w) in
+  let swap = Unitary.unitary (Circuit.create 2 [ Gate.Swap (0, 1) ]) in
+  Alcotest.(check bool) "perm = swap" true (Unitary.equal_strict p swap)
+
+let circuits_are_unitary =
+  qtest ~count:50 "random circuits have unitary matrices"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 0 42))
+    (fun (n, seed) ->
+      let c =
+        Qxm_benchmarks.Generator.random_circuit ~seed ~qubits:(max n 2)
+          ~cnots:6 ~singles:6
+      in
+      mat_is_unitary (Unitary.unitary c))
+
+let statevector_matches_unitary =
+  qtest ~count:30 "running a state matches multiplying by the unitary"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let c =
+        Qxm_benchmarks.Generator.random_circuit ~seed ~qubits:3 ~cnots:5
+          ~singles:5
+      in
+      let rng = Random.State.make [| seed |] in
+      let psi = Unitary.random_state rng 3 in
+      let direct = Unitary.run c psi in
+      let u = Unitary.unitary c in
+      let via_matrix =
+        Array.init 8 (fun i ->
+            let acc = ref Complex.zero in
+            for j = 0 to 7 do
+              acc := Complex.add !acc (Complex.mul u.(i).(j) psi.(j))
+            done;
+            !acc)
+      in
+      Unitary.state_equal direct via_matrix)
+
+let test_equal_up_to_phase () =
+  let u = Unitary.unitary Examples.fig1a in
+  let phase = { Complex.re = 0.0; im = 1.0 } in
+  let u' = Array.map (Array.map (Complex.mul phase)) u in
+  Alcotest.(check bool) "same up to phase" true
+    (Unitary.equal_up_to_phase u u');
+  Alcotest.(check bool) "not strictly equal" false
+    (Unitary.equal_strict u u')
+
+(* -- Equiv ------------------------------------------------------------- *)
+
+let test_equiv_positive () =
+  (* identity mapping of a circuit to itself *)
+  let c = Examples.fig1a in
+  let id = Array.init 4 Fun.id in
+  Alcotest.(check (option bool)) "self-equivalent" (Some true)
+    (Equiv.check
+       ~allowed:(fun _ _ -> true)
+       ~original:c ~mapped:c ~init_full:id ~final_full:id ())
+
+let test_equiv_negative () =
+  let c = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let wrong = Circuit.create 2 [ Gate.Cnot (1, 0) ] in
+  let id = [| 0; 1 |] in
+  Alcotest.(check (option bool)) "detects wrong circuit" (Some false)
+    (Equiv.check
+       ~allowed:(fun _ _ -> true)
+       ~original:c ~mapped:wrong ~init_full:id ~final_full:id ())
+
+let test_equiv_with_swap () =
+  (* mapped = SWAP then CNOT on swapped wires, final mapping swapped *)
+  let original = Circuit.create 2 [ Gate.Cnot (0, 1) ] in
+  let mapped =
+    Circuit.create 2 [ Gate.Swap (0, 1); Gate.Cnot (1, 0) ]
+  in
+  Alcotest.(check (option bool)) "swap-tracked equivalence" (Some true)
+    (Equiv.check
+       ~allowed:(fun _ _ -> true)
+       ~original ~mapped ~init_full:[| 0; 1 |] ~final_full:[| 1; 0 |] ())
+
+let test_equiv_too_large () =
+  let c = Circuit.empty 12 in
+  Alcotest.(check (option bool)) "skips big instances" None
+    (Equiv.check
+       ~allowed:(fun _ _ -> true)
+       ~original:c ~mapped:c
+       ~init_full:(Array.init 12 Fun.id)
+       ~final_full:(Array.init 12 Fun.id)
+       ())
+
+(* -- Draw --------------------------------------------------------------- *)
+
+let test_draw_contains_gates () =
+  let text = Draw.render Examples.fig1a in
+  Alcotest.(check bool) "has H box" true (contains_substring text "[H]");
+  Alcotest.(check bool) "has control dot" true (contains_substring text "*");
+  Alcotest.(check int) "four lines" 4
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' text)))
+
+let test_draw_labels () =
+  let text =
+    Draw.render ~labels:[| "a:"; "b:" |]
+      (Circuit.create 2 [ Gate.Cnot (0, 1) ])
+  in
+  Alcotest.(check bool) "custom labels" true
+    (String.length text > 0 && text.[0] = 'a')
+
+let suite =
+  [
+    ("gate qubits", `Quick, test_gate_qubits);
+    ("gate map_qubits", `Quick, test_gate_map_qubits);
+    ("single matrices unitary", `Quick, test_single_matrices_unitary);
+    ("u_params consistent", `Quick, test_u_params_consistent);
+    ("circuit validation", `Quick, test_circuit_validation);
+    ("circuit counts", `Quick, test_circuit_counts);
+    ("without_singles", `Quick, test_without_singles);
+    ("original_cost rejects swaps", `Quick, test_original_cost_rejects_swaps);
+    ("interacting pairs", `Quick, test_interacting_pairs);
+    ("concat", `Quick, test_concat);
+    ("layers fig1b (Ex. 10)", `Quick, test_layers_fig1b);
+    ("triangle runs fig1b (Ex. 10)", `Quick, test_triangle_runs_fig1b);
+    ("layers empty", `Quick, test_layers_empty);
+    layers_monotone;
+    ("swap cost one-directional = 7", `Quick, test_swap_cost_one_directional);
+    ("swap cost bidirectional = 3", `Quick, test_swap_cost_bidirectional);
+    ("cnot_respecting", `Quick, test_cnot_respecting);
+    ("swap decomposition exact", `Quick, test_swap_decomposition_is_swap);
+    ("flip decomposition exact", `Quick, test_flip_decomposition_is_cnot);
+    ("added cost", `Quick, test_added_cost);
+    ("cnot truth table", `Quick, test_cnot_truth_table);
+    ("swap truth table", `Quick, test_swap_truth_table);
+    ("HH = I", `Quick, test_hh_is_identity);
+    ("permutation matrix", `Quick, test_permutation_matrix);
+    circuits_are_unitary;
+    statevector_matches_unitary;
+    ("equal up to phase", `Quick, test_equal_up_to_phase);
+    ("equiv positive", `Quick, test_equiv_positive);
+    ("equiv negative", `Quick, test_equiv_negative);
+    ("equiv with swap", `Quick, test_equiv_with_swap);
+    ("equiv skips large", `Quick, test_equiv_too_large);
+    ("draw contains gates", `Quick, test_draw_contains_gates);
+    ("draw custom labels", `Quick, test_draw_labels);
+  ]

@@ -1,0 +1,119 @@
+(* Tests for the configurable objective weights (Encoding.cost_model),
+   generalizing Eq. (5)'s 7/4. *)
+
+open Test_util
+module Encoding = Qxm_exact.Encoding
+module Mapper = Qxm_exact.Mapper
+module Minimize = Qxm_opt.Minimize
+module Cnf = Qxm_encode.Cnf
+module Solver = Qxm_sat.Solver
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Devices = Qxm_arch.Devices
+module Examples = Qxm_benchmarks.Examples
+
+let solve_cost ?costs instance =
+  let solver = Solver.create () in
+  let cnf = Cnf.create solver in
+  let built = Encoding.build ?costs cnf instance in
+  let outcome =
+    Minimize.minimize ~cnf ~objective:(Encoding.objective built) ()
+  in
+  match outcome.Minimize.cost with
+  | Some c when outcome.optimal -> c
+  | _ -> Alcotest.fail "expected an optimal outcome"
+
+let fig1b_instance =
+  {
+    Encoding.arch = Devices.qx4;
+    num_logical = 4;
+    cnots = Array.of_list (Circuit.cnots Examples.fig1b);
+    spots = [ 1; 2; 3; 4 ];
+  }
+
+let test_paper_costs_value () =
+  Alcotest.(check int) "swap 7" 7 Encoding.paper_costs.swap_weight;
+  Alcotest.(check int) "flip 4" 4 Encoding.paper_costs.flip_weight;
+  (* fig1a: one flipped CNOT, no swaps -> objective 4 *)
+  Alcotest.(check int) "F = 4" 4 (solve_cost fig1b_instance)
+
+let test_insertion_count_objective () =
+  (* (1,1): the same instance costs exactly 1 insertion *)
+  let costs = { Encoding.swap_weight = 1; flip_weight = 1 } in
+  Alcotest.(check int) "one insertion" 1 (solve_cost ~costs fig1b_instance)
+
+let test_free_flips_objective () =
+  (* (7,0): flips are free, and fig1a needs no swaps -> objective 0 *)
+  let costs = { Encoding.swap_weight = 7; flip_weight = 0 } in
+  Alcotest.(check int) "free" 0 (solve_cost ~costs fig1b_instance)
+
+let test_negative_weight_rejected () =
+  let solver = Solver.create () in
+  let cnf = Cnf.create solver in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Encoding.build
+            ~costs:{ Encoding.swap_weight = -1; flip_weight = 4 }
+            cnf fig1b_instance);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mapper_with_custom_costs () =
+  (* end-to-end with (1,1): one insertion suffices for fig1a, but the
+     optimizer is free to choose a SWAP (7 gates) or a flip (4 gates) —
+     both are a single insertion.  The result must still verify. *)
+  let options =
+    {
+      Mapper.default with
+      costs = { Encoding.swap_weight = 1; flip_weight = 1 };
+    }
+  in
+  match Mapper.run ~options ~arch:Devices.qx4 Examples.fig1a with
+  | Ok r ->
+      Alcotest.(check (option bool)) "verified" (Some true) r.verified;
+      Alcotest.(check bool) "one insertion: 4 or 7 gates" true
+        (r.f_cost = 4 || r.f_cost = 7)
+  | Error e -> Alcotest.failf "failed: %a" Mapper.pp_failure e
+
+(* A swap (7) can beat two flips (8) under paper costs but lose under
+   flip-favouring weights: build an instance where the trade-off flips.
+   On line3 (0->1->2) with CNOTs (1,0) twice: placing q1 on p0, q0 on p1
+   runs both natively; F = 0 either way — instead check weights scale
+   linearly: doubling both weights doubles the optimum. *)
+let weights_scale_linearly =
+  qtest ~count:10 "doubling weights doubles the optimum"
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      let c =
+        Qxm_benchmarks.Generator.random_circuit ~seed ~qubits:3 ~cnots:4
+          ~singles:0
+      in
+      let inst =
+        {
+          Encoding.arch = Devices.qx4;
+          num_logical = 3;
+          cnots = Array.of_list (Circuit.cnots c);
+          spots =
+            Qxm_exact.Strategy.spots Qxm_exact.Strategy.Minimal
+              (Circuit.cnots c);
+        }
+      in
+      let base =
+        solve_cost ~costs:{ Encoding.swap_weight = 7; flip_weight = 4 } inst
+      in
+      let doubled =
+        solve_cost ~costs:{ Encoding.swap_weight = 14; flip_weight = 8 }
+          inst
+      in
+      doubled = 2 * base)
+
+let suite =
+  [
+    ("paper costs (Eq. 5)", `Quick, test_paper_costs_value);
+    ("insertion-count objective", `Quick, test_insertion_count_objective);
+    ("free flips objective", `Quick, test_free_flips_objective);
+    ("negative weight rejected", `Quick, test_negative_weight_rejected);
+    ("mapper with custom costs", `Quick, test_mapper_with_custom_costs);
+    weights_scale_linearly;
+  ]

@@ -1,0 +1,291 @@
+(* Tests for the CNF construction toolkit: Cnf, Amo, Totalizer, Pb. *)
+
+open Test_util
+module Lit = Qxm_sat.Lit
+module Solver = Qxm_sat.Solver
+module Cnf = Qxm_encode.Cnf
+module Amo = Qxm_encode.Amo
+module Totalizer = Qxm_encode.Totalizer
+module Pb = Qxm_encode.Pb
+
+(* Count models of the solver restricted to the first [n] variables by
+   blocking-clause enumeration. *)
+let count_models_over solver n =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Solver.solve solver with
+    | Solver.Sat ->
+        incr count;
+        if !count > 4096 then failwith "too many models";
+        let m = Solver.model solver in
+        let blocking =
+          List.init n (fun v ->
+              if m.(v) then Lit.neg_of v else Lit.pos v)
+        in
+        Solver.add_clause solver blocking
+    | Solver.Unsat -> continue := false
+    | Solver.Unknown -> failwith "unknown"
+  done;
+  !count
+
+(* -- Tseitin gates ---------------------------------------------------- *)
+
+let check_gate_table name build table () =
+  (* [build cnf a b] returns the output literal; [table] gives expected
+     output for each input pair. *)
+  List.iter
+    (fun (va, vb, expected) ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let a = Cnf.fresh cnf and b = Cnf.fresh cnf in
+      let y = build cnf a b in
+      Cnf.add cnf [ (if va then a else Lit.negate a) ];
+      Cnf.add cnf [ (if vb then b else Lit.negate b) ];
+      match Solver.solve s with
+      | Solver.Sat ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s(%b,%b)" name va vb)
+            expected
+            (Solver.value s y)
+      | _ -> Alcotest.fail "gate instance unsat")
+    table
+
+let and_table =
+  [ (false, false, false); (false, true, false); (true, false, false);
+    (true, true, true) ]
+
+let or_table =
+  [ (false, false, false); (false, true, true); (true, false, true);
+    (true, true, true) ]
+
+let xor_table =
+  [ (false, false, false); (false, true, true); (true, false, true);
+    (true, true, false) ]
+
+let iff_table =
+  [ (false, false, true); (false, true, false); (true, false, false);
+    (true, true, true) ]
+
+let test_consts () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let t = Cnf.true_ cnf and f = Cnf.false_ cnf in
+  Alcotest.(check bool) "solves" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "true" true (Solver.value s t);
+  Alcotest.(check bool) "false" false (Solver.value s f);
+  Alcotest.(check bool) "shared" true (Cnf.true_ cnf = t)
+
+let test_empty_and_or () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let a = Cnf.and_ cnf [] and o = Cnf.or_ cnf [] in
+  Alcotest.(check bool) "solves" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "empty and = true" true (Solver.value s a);
+  Alcotest.(check bool) "empty or = false" false (Solver.value s o)
+
+let big_and_correct =
+  qtest ~count:100 "n-ary and equals conjunction"
+    QCheck2.Gen.(list_size (int_range 1 8) bool)
+    (fun inputs ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let lits = List.map (fun _ -> Cnf.fresh cnf) inputs in
+      let y = Cnf.and_ cnf lits in
+      List.iter2
+        (fun l v -> Cnf.add cnf [ (if v then l else Lit.negate l) ])
+        lits inputs;
+      Solver.solve s = Solver.Sat
+      && Solver.value s y = List.for_all Fun.id inputs)
+
+(* -- AMO / exactly-one ------------------------------------------------ *)
+
+let amo_model_count encoding n expected_eo () =
+  (* over n free inputs, exactly-one must leave exactly n models *)
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let lits = List.init n (fun _ -> Cnf.fresh cnf) in
+  Amo.exactly_one ~encoding cnf lits;
+  Alcotest.(check int)
+    (Printf.sprintf "exactly-one over %d" n)
+    expected_eo
+    (count_models_over s n)
+
+let amo_blocks_pairs encoding =
+  qtest ~count:60
+    (Printf.sprintf "amo(%s) blocks every 2-subset"
+       (match encoding with
+       | Amo.Pairwise -> "pairwise"
+       | Amo.Sequential -> "sequential"
+       | Amo.Commander -> "commander"))
+    QCheck2.Gen.(int_range 2 9)
+    (fun n ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let lits = List.init n (fun _ -> Cnf.fresh cnf) in
+      Amo.at_most_one ~encoding cnf lits;
+      (* forcing any two of them true must be unsat *)
+      let l0 = List.nth lits 0 and l1 = List.nth lits (n - 1) in
+      Solver.solve ~assumptions:[ l0; l1 ] s = Solver.Unsat
+      && Solver.solve ~assumptions:[ l0 ] s = Solver.Sat)
+
+(* -- Totalizer --------------------------------------------------------- *)
+
+let totalizer_outputs_match_sum =
+  qtest ~count:150 "totalizer outputs = unary sum"
+    QCheck2.Gen.(list_size (int_range 1 9) bool)
+    (fun inputs ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let lits = List.map (fun _ -> Cnf.fresh cnf) inputs in
+      let tot = Totalizer.build cnf lits in
+      List.iter2
+        (fun l v -> Cnf.add cnf [ (if v then l else Lit.negate l) ])
+        lits inputs;
+      let sum = List.length (List.filter Fun.id inputs) in
+      Solver.solve s = Solver.Sat
+      && List.for_all
+           (fun i ->
+             Solver.value s (Totalizer.output tot i) = (sum >= i + 1))
+           (List.init (Totalizer.size tot) Fun.id))
+
+let totalizer_at_most_counts =
+  qtest ~count:60 "at_most k leaves sum(C(n,i), i<=k) models"
+    QCheck2.Gen.(pair (int_range 1 7) (int_range 0 7))
+    (fun (n, k) ->
+      let k = min k n in
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let lits = List.init n (fun _ -> Cnf.fresh cnf) in
+      let tot = Totalizer.build cnf lits in
+      Totalizer.at_most cnf tot k;
+      let expected =
+        let rec binom n r =
+          if r = 0 || r = n then 1 else binom (n - 1) (r - 1) + binom (n - 1) r
+        in
+        List.fold_left (fun acc i -> acc + binom n i) 0
+          (List.init (k + 1) Fun.id)
+      in
+      count_models_over s n = expected)
+
+let test_totalizer_at_least () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let lits = List.init 4 (fun _ -> Cnf.fresh cnf) in
+  let tot = Totalizer.build cnf lits in
+  Totalizer.at_least cnf tot 3;
+  Alcotest.(check int) "C(4,3)+C(4,4)" 5 (count_models_over s 4)
+
+let test_totalizer_assumptions () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let lits = List.init 3 (fun _ -> Cnf.fresh cnf) in
+  let tot = Totalizer.build cnf lits in
+  List.iter (fun l -> Cnf.add cnf [ l ]) lits;
+  (* all three true *)
+  Alcotest.(check bool) "<=2 unsat" true
+    (Solver.solve ~assumptions:(Totalizer.assume_at_most tot 2) s
+    = Solver.Unsat);
+  Alcotest.(check bool) "<=3 sat" true
+    (Solver.solve ~assumptions:(Totalizer.assume_at_most tot 3) s
+    = Solver.Sat);
+  Alcotest.(check bool) ">=3 sat" true
+    (Solver.solve ~assumptions:(Totalizer.assume_at_least tot 3) s
+    = Solver.Sat)
+
+(* -- Generalized totalizer (Pb) ---------------------------------------- *)
+
+let weighted_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 7) (pair (int_range 1 9) bool))
+
+let pb_bound_sound =
+  qtest ~count:150 "pb enforce_at_most forbids exactly sums > b"
+    QCheck2.Gen.(pair weighted_gen (int_range 0 40))
+    (fun (terms, bound) ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let weighted =
+        List.map (fun (w, _) -> (w, Cnf.fresh cnf)) terms
+      in
+      let pb = Pb.build cnf weighted in
+      Pb.enforce_at_most cnf pb bound;
+      (* force the chosen input pattern *)
+      List.iter2
+        (fun (_, l) (_, v) ->
+          Cnf.add cnf [ (if v then l else Lit.negate l) ])
+        weighted terms;
+      let sum =
+        List.fold_left (fun acc (w, v) -> if v then acc + w else acc) 0 terms
+      in
+      let sat = Solver.solve s = Solver.Sat in
+      if sum <= bound then sat else not sat)
+
+let pb_values_are_subset_sums =
+  qtest ~count:100 "pb values = attainable subset sums"
+    weighted_gen
+    (fun terms ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      let weighted = List.map (fun (w, _) -> (w, Cnf.fresh cnf)) terms in
+      let pb = Pb.build cnf weighted in
+      let weights = List.map fst terms in
+      let rec sums = function
+        | [] -> [ 0 ]
+        | w :: rest ->
+            let s = sums rest in
+            List.sort_uniq compare (s @ List.map (fun x -> x + w) s)
+      in
+      let expected = List.filter (fun v -> v > 0) (sums weights) in
+      Pb.values pb = expected)
+
+let test_pb_tighten () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let terms = [ (4, Cnf.fresh cnf); (7, Cnf.fresh cnf) ] in
+  let pb = Pb.build cnf terms in
+  Alcotest.(check (list int)) "values" [ 4; 7; 11 ] (Pb.values pb);
+  Alcotest.(check int) "tighten 10" 7 (Pb.tighten pb 10);
+  Alcotest.(check int) "tighten 3" 0 (Pb.tighten pb 3);
+  Alcotest.(check int) "max" 11 (Pb.max_value pb);
+  Alcotest.(check (option int)) "next_above 7" (Some 11) (Pb.next_above pb 7);
+  Alcotest.(check (option int)) "next_above 11" None (Pb.next_above pb 11)
+
+let test_pb_rejects_bad_weight () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  Alcotest.check_raises "weight 0"
+    (Invalid_argument "Pb.build: non-positive weight") (fun () ->
+      ignore (Pb.build cnf [ (0, Cnf.fresh cnf) ]))
+
+let suite =
+  [
+    ("tseitin and", `Quick, check_gate_table "and"
+       (fun cnf a b -> Cnf.and_ cnf [ a; b ]) and_table);
+    ("tseitin or", `Quick, check_gate_table "or"
+       (fun cnf a b -> Cnf.or_ cnf [ a; b ]) or_table);
+    ("tseitin xor", `Quick, check_gate_table "xor" Cnf.xor_ xor_table);
+    ("tseitin iff", `Quick, check_gate_table "iff" Cnf.iff iff_table);
+    ("constants", `Quick, test_consts);
+    ("empty and/or", `Quick, test_empty_and_or);
+    big_and_correct;
+    ("exactly-one pairwise n=4", `Quick,
+     amo_model_count Amo.Pairwise 4 4);
+    ("exactly-one sequential n=5", `Quick,
+     amo_model_count Amo.Sequential 5 5);
+    ("exactly-one commander n=7", `Quick,
+     amo_model_count Amo.Commander 7 7);
+    ("exactly-one sequential n=1", `Quick,
+     amo_model_count Amo.Sequential 1 1);
+    amo_blocks_pairs Amo.Pairwise;
+    amo_blocks_pairs Amo.Sequential;
+    amo_blocks_pairs Amo.Commander;
+    totalizer_outputs_match_sum;
+    totalizer_at_most_counts;
+    ("totalizer at_least", `Quick, test_totalizer_at_least);
+    ("totalizer assumptions", `Quick, test_totalizer_assumptions);
+    pb_bound_sound;
+    pb_values_are_subset_sums;
+    ("pb tighten/values", `Quick, test_pb_tighten);
+    ("pb rejects bad weight", `Quick, test_pb_rejects_bad_weight);
+  ]

@@ -1,0 +1,357 @@
+(* Tests for the extension modules: Optimize, Dag, Algorithms, Sabre. *)
+
+open Test_util
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Optimize = Qxm_circuit.Optimize
+module Dag = Qxm_circuit.Dag
+module Unitary = Qxm_circuit.Unitary
+module Algorithms = Qxm_benchmarks.Algorithms
+module Generator = Qxm_benchmarks.Generator
+module Sabre = Qxm_heuristic.Sabre
+module Devices = Qxm_arch.Devices
+
+(* -- Optimize -------------------------------------------------------- *)
+
+let test_cancel_hh () =
+  let c =
+    Circuit.create 2
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Single (Gate.H, 0);
+        Gate.Cnot (0, 1);
+      ]
+  in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "only cnot left" 1 (Circuit.length o)
+
+let test_cancel_through_disjoint () =
+  (* the X on qubit 1 must not block H·H cancellation on qubit 0 *)
+  let c =
+    Circuit.create 2
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Single (Gate.X, 1);
+        Gate.Single (Gate.H, 0);
+      ]
+  in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "x survives" 1 (Circuit.length o)
+
+let test_blocking_gate_prevents_cancel () =
+  let c =
+    Circuit.create 2
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Cnot (0, 1);
+        Gate.Single (Gate.H, 0);
+      ]
+  in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "nothing cancelled" 3 (Circuit.length o)
+
+let test_barrier_blocks () =
+  let c =
+    Circuit.create 1
+      [
+        Gate.Single (Gate.H, 0);
+        Gate.Barrier [ 0 ];
+        Gate.Single (Gate.H, 0);
+      ]
+  in
+  let o = Optimize.optimize c in
+  Alcotest.(check int) "barrier fences" 3 (Circuit.length o)
+
+let test_tt_becomes_s () =
+  let c =
+    Circuit.create 1 [ Gate.Single (Gate.T, 0); Gate.Single (Gate.T, 0) ]
+  in
+  match Circuit.gates (Optimize.optimize c) with
+  | [ Gate.Single (Gate.S, 0) ] -> ()
+  | _ -> Alcotest.fail "expected a single S"
+
+let test_rotation_fusion () =
+  let c =
+    Circuit.create 1
+      [ Gate.Single (Gate.Rz 0.5, 0); Gate.Single (Gate.Rz (-0.5), 0) ]
+  in
+  Alcotest.(check int) "full cancel" 0
+    (Circuit.length (Optimize.optimize c));
+  let c2 =
+    Circuit.create 1
+      [ Gate.Single (Gate.Rx 0.25, 0); Gate.Single (Gate.Rx 0.5, 0) ]
+  in
+  match Circuit.gates (Optimize.optimize c2) with
+  | [ Gate.Single (Gate.Rx a, 0) ] ->
+      Alcotest.(check (float 1e-9)) "sum" 0.75 a
+  | _ -> Alcotest.fail "expected fused rotation"
+
+let test_cx_cx_cancels () =
+  let c = Circuit.create 2 [ Gate.Cnot (0, 1); Gate.Cnot (0, 1) ] in
+  Alcotest.(check int) "cancelled" 0 (Circuit.length (Optimize.optimize c));
+  let c2 = Circuit.create 2 [ Gate.Cnot (0, 1); Gate.Cnot (1, 0) ] in
+  Alcotest.(check int) "different direction kept" 2
+    (Circuit.length (Optimize.optimize c2))
+
+let test_identity_removed () =
+  let c =
+    Circuit.create 1
+      [ Gate.Single (Gate.I, 0); Gate.Single (Gate.Rz 0.0, 0) ]
+  in
+  Alcotest.(check int) "identities dropped" 0
+    (Circuit.length (Optimize.optimize c))
+
+let optimize_preserves_unitary =
+  qtest ~count:40 "optimization preserves the unitary exactly"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c =
+        Generator.random_circuit ~seed ~qubits:3 ~cnots:10 ~singles:14
+      in
+      let o = Optimize.optimize c in
+      Circuit.length o <= Circuit.length c
+      && Unitary.equal_strict (Unitary.unitary c) (Unitary.unitary o))
+
+let optimize_is_idempotent =
+  qtest ~count:25 "optimize is idempotent"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c =
+        Generator.random_circuit ~seed ~qubits:3 ~cnots:6 ~singles:10
+      in
+      let o = Optimize.optimize c in
+      Circuit.equal o (Optimize.optimize o))
+
+(* -- Dag -------------------------------------------------------------- *)
+
+let test_dag_fig1a () =
+  let dag = Dag.of_circuit Qxm_benchmarks.Examples.fig1a in
+  Alcotest.(check int) "gates" 8 (Dag.num_gates dag);
+  (* first two gates: H(1) then CX(2,3) are independent *)
+  Alcotest.(check (list int)) "roots" [ 0; 1 ] (Dag.roots dag);
+  Alcotest.(check int) "H layer" 0 (Dag.asap_layer dag 0);
+  Alcotest.(check int) "CX(0,1) after H(1)" 1 (Dag.asap_layer dag 2);
+  Alcotest.(check bool) "depth sane" true (Dag.depth dag >= 4)
+
+let test_dag_chain () =
+  let c =
+    Circuit.create 2
+      [ Gate.Single (Gate.H, 0); Gate.Cnot (0, 1); Gate.Single (Gate.X, 1) ]
+  in
+  let dag = Dag.of_circuit c in
+  Alcotest.(check (list int)) "preds of cx" [ 0 ] (Dag.predecessors dag 1);
+  Alcotest.(check (list int)) "succs of cx" [ 2 ] (Dag.successors dag 1);
+  Alcotest.(check int) "depth 3" 3 (Dag.depth dag);
+  Alcotest.(check int) "cnot depth 1" 1 (Dag.cnot_depth dag)
+
+let test_dag_parallel () =
+  let c =
+    Circuit.create 4 [ Gate.Cnot (0, 1); Gate.Cnot (2, 3); Gate.Cnot (1, 2) ]
+  in
+  let dag = Dag.of_circuit c in
+  Alcotest.(check int) "depth 2" 2 (Dag.depth dag);
+  Alcotest.(check (list (list int))) "layers" [ [ 0; 1 ]; [ 2 ] ]
+    (Dag.layers dag);
+  Alcotest.(check int) "cnot depth" 2 (Dag.cnot_depth dag)
+
+let test_dag_barrier_fences () =
+  let c =
+    Circuit.create 2
+      [ Gate.Single (Gate.H, 0); Gate.Barrier [ 1 ]; Gate.Single (Gate.H, 1) ]
+  in
+  let dag = Dag.of_circuit c in
+  (* the barrier is a full fence: H(1) depends on it *)
+  Alcotest.(check (list int)) "barrier preds" [ 0 ] (Dag.predecessors dag 1);
+  Alcotest.(check (list int)) "h1 preds" [ 1 ] (Dag.predecessors dag 2)
+
+let dag_depth_bounds =
+  qtest ~count:50 "1 <= depth <= #gates for nonempty circuits"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let c = Generator.random_circuit ~seed ~qubits:4 ~cnots:8 ~singles:4 in
+      let dag = Dag.of_circuit c in
+      Dag.depth dag >= 1 && Dag.depth dag <= Dag.num_gates dag)
+
+(* -- Algorithms --------------------------------------------------------- *)
+
+let test_ghz_state () =
+  let c = Algorithms.ghz 3 in
+  let out = Unitary.run c (Unitary.basis 3 0) in
+  let amp = 1.0 /. sqrt 2.0 in
+  Alcotest.(check bool) "amplitude |000>" true
+    (Complex.norm (Complex.sub out.(0) { Complex.re = amp; im = 0.0 })
+     < 1e-9);
+  Alcotest.(check bool) "amplitude |111>" true
+    (Complex.norm (Complex.sub out.(7) { Complex.re = amp; im = 0.0 })
+     < 1e-9)
+
+let qft_reference n =
+  (* direct DFT matrix: entry (r,c) = ω^{rc}/√N *)
+  let d = 1 lsl n in
+  let omega = 2.0 *. Float.pi /. float_of_int d in
+  Array.init d (fun r ->
+      Array.init d (fun c ->
+          let angle = omega *. float_of_int (r * c) in
+          {
+            Complex.re = cos angle /. sqrt (float_of_int d);
+            im = sin angle /. sqrt (float_of_int d);
+          }))
+
+let test_qft_matches_dft () =
+  List.iter
+    (fun n ->
+      let u = Unitary.unitary (Algorithms.qft n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "qft %d = DFT" n)
+        true
+        (Unitary.equal_up_to_phase ~eps:1e-7 (qft_reference n) u))
+    [ 1; 2; 3; 4 ]
+
+let test_bernstein_vazirani_reads_secret () =
+  let n = 4 in
+  List.iter
+    (fun secret ->
+      let c = Algorithms.bernstein_vazirani ~secret n in
+      let out = Unitary.run c (Unitary.basis (n + 1) 0) in
+      (* data register must hold |secret> (ancilla in |-⟩) *)
+      let prob_secret = ref 0.0 in
+      Array.iteri
+        (fun i a ->
+          if i land ((1 lsl n) - 1) = secret then
+            prob_secret := !prob_secret +. Complex.norm2 a)
+        out;
+      Alcotest.(check bool)
+        (Printf.sprintf "secret %d recovered" secret)
+        true
+        (!prob_secret > 1.0 -. 1e-9))
+    [ 0; 1; 5; 15 ]
+
+let test_grover_amplifies_marked () =
+  List.iter
+    (fun (n, marked) ->
+      let c = Algorithms.grover ~marked n in
+      let out = Unitary.run c (Unitary.basis n 0) in
+      let p = Complex.norm2 out.(marked) in
+      (* one iteration: exactly 1.0 for n=2, ~0.78 for n=3 *)
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d marked=%d amplified" n marked)
+        true
+        (p > 0.7))
+    [ (2, 0); (2, 3); (3, 5) ]
+
+let test_cuccaro_adds () =
+  let k = 3 in
+  let c = Algorithms.cuccaro_adder k in
+  (* classical check: all input pairs; layout cin=0, b_i=1+2i, a_i=2+2i *)
+  let encode a b =
+    let v = ref 0 in
+    for i = 0 to k - 1 do
+      if b land (1 lsl i) <> 0 then v := !v lor (1 lsl (1 + (2 * i)));
+      if a land (1 lsl i) <> 0 then v := !v lor (1 lsl (2 + (2 * i)))
+    done;
+    !v
+  in
+  let ok = ref true in
+  for a = 0 to (1 lsl k) - 1 do
+    for b = 0 to (1 lsl k) - 1 do
+      let input = encode a b in
+      let out = Unitary.run c (Unitary.basis ((2 * k) + 2) input) in
+      (* find the (unique) basis state with amplitude 1 *)
+      let result = ref (-1) in
+      Array.iteri
+        (fun i amp -> if Complex.norm amp > 0.99 then result := i)
+        out;
+      let sum = a + b in
+      (* b register holds the low k bits of the sum; carry-out the top *)
+      let got_sum = ref 0 in
+      for i = 0 to k - 1 do
+        if !result land (1 lsl (1 + (2 * i))) <> 0 then
+          got_sum := !got_sum lor (1 lsl i)
+      done;
+      if !result land (1 lsl ((2 * k) + 1)) <> 0 then
+        got_sum := !got_sum lor (1 lsl k);
+      if !got_sum <> sum then ok := false
+    done
+  done;
+  Alcotest.(check bool) "all sums correct" true !ok
+
+let test_qft_approximation_smaller () =
+  let full = Algorithms.qft_no_reversal 5 in
+  let approx = Algorithms.qft_no_reversal ~approximation:2 5 in
+  Alcotest.(check bool) "fewer gates" true
+    (Circuit.length approx < Circuit.length full)
+
+(* -- Sabre -------------------------------------------------------------- *)
+
+let test_sabre_fig1a () =
+  let r = Sabre.run ~arch:Devices.qx4 Qxm_benchmarks.Examples.fig1a in
+  Alcotest.(check (option bool)) "verified" (Some true) r.verified;
+  Alcotest.(check bool) "above exact optimum" true (r.f_cost >= 4)
+
+let sabre_always_verifies =
+  qtest ~count:15 "sabre verifies on random circuits"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* qubits = int_range 2 5 in
+      return (seed, qubits))
+    (fun (seed, qubits) ->
+      let c = Generator.random_circuit ~seed ~qubits ~cnots:10 ~singles:5 in
+      let r = Sabre.run ~arch:Devices.qx4 c in
+      r.verified = Some true)
+
+let sabre_on_larger_devices =
+  qtest ~count:5 "sabre routes on qx5 and tokyo"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c = Generator.random_circuit ~seed ~qubits:6 ~cnots:12 ~singles:4 in
+      let qx5 = Sabre.run ~verify:false ~arch:Devices.qx5 c in
+      let tokyo = Sabre.run ~verify:false ~arch:Devices.tokyo c in
+      (* no verification above 10 qubits; check compliance instead *)
+      let compliant arch (r : Sabre.result) =
+        List.for_all
+          (fun g ->
+            match g with
+            | Gate.Cnot (c, t) -> Qxm_arch.Coupling.allows arch c t
+            | Gate.Swap _ -> false
+            | _ -> true)
+          (Circuit.gates r.elementary)
+      in
+      compliant Devices.qx5 qx5 && compliant Devices.tokyo tokyo)
+
+let test_algorithms_map_end_to_end () =
+  (* map a QFT-3 onto QX4 exactly and verify *)
+  let c = Algorithms.qft_no_reversal 3 in
+  match Qxm_exact.Mapper.run ~arch:Devices.qx4 c with
+  | Ok r ->
+      Alcotest.(check (option bool)) "verified" (Some true) r.verified;
+      Alcotest.(check bool) "optimal" true r.optimal
+  | Error e -> Alcotest.failf "failed: %a" Qxm_exact.Mapper.pp_failure e
+
+let suite =
+  [
+    ("optimize cancels HH", `Quick, test_cancel_hh);
+    ("optimize skips disjoint gates", `Quick, test_cancel_through_disjoint);
+    ("optimize respects blockers", `Quick, test_blocking_gate_prevents_cancel);
+    ("optimize respects barriers", `Quick, test_barrier_blocks);
+    ("optimize TT -> S", `Quick, test_tt_becomes_s);
+    ("optimize rotation fusion", `Quick, test_rotation_fusion);
+    ("optimize CX CX", `Quick, test_cx_cx_cancels);
+    ("optimize drops identities", `Quick, test_identity_removed);
+    optimize_preserves_unitary;
+    optimize_is_idempotent;
+    ("dag fig1a", `Quick, test_dag_fig1a);
+    ("dag chain", `Quick, test_dag_chain);
+    ("dag parallel layers", `Quick, test_dag_parallel);
+    ("dag barrier fences", `Quick, test_dag_barrier_fences);
+    dag_depth_bounds;
+    ("ghz state", `Quick, test_ghz_state);
+    ("qft = DFT matrix", `Quick, test_qft_matches_dft);
+    ("bernstein-vazirani", `Quick, test_bernstein_vazirani_reads_secret);
+    ("grover amplifies", `Quick, test_grover_amplifies_marked);
+    ("cuccaro adder adds", `Slow, test_cuccaro_adds);
+    ("qft approximation", `Quick, test_qft_approximation_smaller);
+    ("sabre fig1a", `Quick, test_sabre_fig1a);
+    sabre_always_verifies;
+    sabre_on_larger_devices;
+    ("qft3 maps exactly", `Quick, test_algorithms_map_end_to_end);
+  ]

@@ -1,0 +1,111 @@
+(* Tests for the SAT-based minimizer. *)
+
+open Test_util
+module Lit = Qxm_sat.Lit
+module Solver = Qxm_sat.Solver
+module Cnf = Qxm_encode.Cnf
+module Minimize = Qxm_opt.Minimize
+
+let objective_gen =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 7 in
+    let* nclauses = int_range 0 20 in
+    let clause =
+      list_size (int_range 1 3)
+        (let* v = int_range 0 (nvars - 1) in
+         let* s = bool in
+         return (Lit.make v s))
+    in
+    let* clauses = list_size (return nclauses) clause in
+    let* nobj = int_range 0 nvars in
+    let* weights = list_size (return nobj) (int_range 1 9) in
+    let objective = List.mapi (fun v w -> (w, Lit.pos v)) weights in
+    return (nvars, clauses, objective))
+
+let check_strategy strategy =
+  qtest ~count:200
+    (Printf.sprintf "minimize (%s) matches brute force"
+       (match strategy with
+       | Minimize.Linear_descent -> "linear"
+       | Minimize.Binary_search -> "binary"))
+    objective_gen
+    (fun (nvars, clauses, objective) ->
+      let s = solver_with nvars in
+      let cnf = Cnf.create s in
+      List.iter (Cnf.add cnf) clauses;
+      let outcome = Minimize.minimize ~strategy ~cnf ~objective () in
+      match brute_min nvars clauses objective with
+      | None -> outcome.unsatisfiable && outcome.cost = None
+      | Some expected -> (
+          outcome.optimal
+          && outcome.cost = Some expected
+          &&
+          match outcome.model with
+          | Some m ->
+              (* model must satisfy the original clauses and achieve cost *)
+              eval_clauses clauses (fun v -> m.(v))
+              && Minimize.cost_of_model objective m = expected
+          | None -> false))
+
+let test_zero_objective () =
+  let s = solver_with 2 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.pos 0 ];
+  let outcome = Minimize.minimize ~cnf ~objective:[] () in
+  Alcotest.(check (option int)) "cost 0" (Some 0) outcome.cost;
+  Alcotest.(check bool) "optimal" true outcome.optimal
+
+let test_unsat_hard () =
+  let s = solver_with 1 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.pos 0 ];
+  Cnf.add cnf [ Lit.neg_of 0 ];
+  let outcome = Minimize.minimize ~cnf ~objective:[ (3, Lit.pos 0) ] () in
+  Alcotest.(check bool) "unsat" true outcome.unsatisfiable;
+  Alcotest.(check (option int)) "no cost" None outcome.cost
+
+let test_forced_cost () =
+  (* x0 forced true with weight 5; x1 free with weight 2 *)
+  let s = solver_with 2 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.pos 0 ];
+  let outcome =
+    Minimize.minimize ~cnf
+      ~objective:[ (5, Lit.pos 0); (2, Lit.pos 1) ]
+      ()
+  in
+  Alcotest.(check (option int)) "pays only forced" (Some 5) outcome.cost
+
+let test_negated_literals_in_objective () =
+  (* weight on ¬x0, x0 forced false -> cost counts *)
+  let s = solver_with 1 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.neg_of 0 ];
+  let outcome =
+    Minimize.minimize ~cnf ~objective:[ (3, Lit.neg_of 0) ] ()
+  in
+  Alcotest.(check (option int)) "cost 3" (Some 3) outcome.cost
+
+let test_deadline_returns_best_effort () =
+  let s = solver_with 4 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.pos 0; Lit.pos 1 ];
+  let outcome =
+    Minimize.minimize
+      ~deadline:(Unix.gettimeofday () +. 10.0)
+      ~cnf
+      ~objective:[ (1, Lit.pos 0); (1, Lit.pos 1) ]
+      ()
+  in
+  Alcotest.(check (option int)) "min 1" (Some 1) outcome.cost
+
+let suite =
+  [
+    check_strategy Minimize.Linear_descent;
+    check_strategy Minimize.Binary_search;
+    ("zero objective", `Quick, test_zero_objective);
+    ("unsat hard clauses", `Quick, test_unsat_hard);
+    ("forced cost", `Quick, test_forced_cost);
+    ("negated objective literal", `Quick, test_negated_literals_in_objective);
+    ("deadline best effort", `Quick, test_deadline_returns_best_effort);
+  ]

@@ -1,0 +1,154 @@
+(* Tests for DRUP proof logging, the RUP checker, and optimality
+   certification. *)
+
+open Test_util
+module Lit = Qxm_sat.Lit
+module Solver = Qxm_sat.Solver
+module Proof = Qxm_sat.Proof
+module Encoding = Qxm_exact.Encoding
+module Certify = Qxm_exact.Certify
+module Devices = Qxm_arch.Devices
+module Circuit = Qxm_circuit.Circuit
+module Examples = Qxm_benchmarks.Examples
+
+let php_clauses n =
+  (* n+1 pigeons, n holes *)
+  let v p h = Lit.pos ((p * n) + h) in
+  let at_least = List.init (n + 1) (fun p -> List.init n (fun h -> v p h)) in
+  let at_most =
+    List.concat
+      (List.init n (fun h ->
+           List.concat
+             (List.init (n + 1) (fun p1 ->
+                  List.filter_map
+                    (fun p2 ->
+                      if p2 > p1 then
+                        Some [ Lit.negate (v p1 h); Lit.negate (v p2 h) ]
+                      else None)
+                    (List.init (n + 1) Fun.id)))))
+  in
+  ((n + 1) * n, at_least @ at_most)
+
+let solve_logged nvars clauses =
+  let s = Solver.create () in
+  Solver.enable_proof s;
+  for _ = 1 to nvars do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses;
+  (Solver.solve s, s)
+
+let test_php_proof_checks n () =
+  let nvars, clauses = php_clauses n in
+  let result, s = solve_logged nvars clauses in
+  Alcotest.(check bool) "unsat" true (result = Solver.Unsat);
+  match Solver.proof s with
+  | None -> Alcotest.fail "no proof"
+  | Some proof ->
+      Alcotest.(check bool) "trace nonempty" true (proof.steps <> []);
+      (match Proof.check proof with
+      | Proof.Valid -> ()
+      | v -> Alcotest.failf "proof rejected: %a" Proof.pp_verdict v)
+
+let test_trivial_unsat_proof () =
+  let result, s =
+    solve_logged 1 [ [ Lit.pos 0 ]; [ Lit.neg_of 0 ] ]
+  in
+  Alcotest.(check bool) "unsat" true (result = Solver.Unsat);
+  match Solver.proof s with
+  | Some proof ->
+      Alcotest.(check bool) "valid" true (Proof.check proof = Proof.Valid)
+  | None -> Alcotest.fail "no proof"
+
+let test_sat_has_no_empty_clause () =
+  let result, s = solve_logged 2 [ [ Lit.pos 0; Lit.pos 1 ] ] in
+  Alcotest.(check bool) "sat" true (result = Solver.Sat);
+  match Solver.proof s with
+  | Some proof -> (
+      (* the trace must NOT certify unsatisfiability *)
+      match Proof.check proof with
+      | Proof.Valid -> Alcotest.fail "bogus certificate"
+      | Proof.Invalid _ -> ())
+  | None -> Alcotest.fail "logging was enabled"
+
+let test_forged_proof_rejected () =
+  (* a clause that is not RUP must be caught *)
+  let proof =
+    {
+      Proof.inputs = [ [| Lit.pos 0; Lit.pos 1 |] ];
+      steps = [ Proof.Learn [| Lit.pos 0 |]; Proof.Learn [||] ];
+    }
+  in
+  match Proof.check proof with
+  | Proof.Invalid { step_index = 0; _ } -> ()
+  | v -> Alcotest.failf "expected rejection, got %a" Proof.pp_verdict v
+
+let test_to_drup_format () =
+  let proof =
+    {
+      Proof.inputs = [];
+      steps = [ Proof.Learn [| Lit.pos 0; Lit.neg_of 1 |]; Proof.Learn [||] ];
+    }
+  in
+  Alcotest.(check string) "drup text" "1 -2 0\n0\n" (Proof.to_drup proof)
+
+let random_unsat_proofs_check =
+  qtest ~count:60 "UNSAT answers carry checkable certificates"
+    (cnf_gen ~max_vars:7 ~max_clauses:40 ~max_len:3)
+    (fun (nvars, clauses) ->
+      let result, s = solve_logged nvars clauses in
+      match result with
+      | Solver.Unsat -> (
+          match Solver.proof s with
+          | Some proof -> Proof.check proof = Proof.Valid
+          | None -> false)
+      | _ -> true)
+
+(* -- optimality certification -------------------------------------------- *)
+
+let fig1a_instance () =
+  {
+    Encoding.arch = Devices.qx4;
+    num_logical = 4;
+    cnots = Array.of_list (Circuit.cnots Examples.fig1b);
+    spots = [ 1; 2; 3; 4 ];
+  }
+
+let test_certify_fig1a_optimum () =
+  (* F* = 4 (Ex. 7): the bound 4 must be certified... *)
+  match Certify.optimality ~instance:(fig1a_instance ()) ~cost:4 () with
+  | Certify.Certified proof ->
+      Alcotest.(check bool) "proof checked" true
+        (Qxm_sat.Proof.check proof = Qxm_sat.Proof.Valid)
+  | Certify.Better_exists c -> Alcotest.failf "claims better: %d" c
+  | Certify.Proof_rejected r -> Alcotest.failf "proof rejected: %s" r
+  | Certify.Budget_exhausted -> Alcotest.fail "budget"
+
+let test_certify_detects_nonoptimal () =
+  (* 5 is not a lower bound (a solution with F = 4 exists) *)
+  match Certify.optimality ~instance:(fig1a_instance ()) ~cost:5 () with
+  | Certify.Better_exists c ->
+      Alcotest.(check bool) "found the cheaper solution" true (c <= 4)
+  | Certify.Certified _ -> Alcotest.fail "bogus certificate"
+  | Certify.Proof_rejected r -> Alcotest.failf "rejected: %s" r
+  | Certify.Budget_exhausted -> Alcotest.fail "budget"
+
+let test_certify_zero_trivial () =
+  match Certify.optimality ~instance:(fig1a_instance ()) ~cost:0 () with
+  | Certify.Certified _ -> ()
+  | _ -> Alcotest.fail "zero bound must be trivially certified"
+
+let suite =
+  [
+    ("php4 proof checks", `Quick, test_php_proof_checks 4);
+    ("php5 proof checks", `Slow, test_php_proof_checks 5);
+    ("trivial unsat proof", `Quick, test_trivial_unsat_proof);
+    ("sat traces do not certify", `Quick, test_sat_has_no_empty_clause);
+    ("forged proof rejected", `Quick, test_forged_proof_rejected);
+    ("drup text format", `Quick, test_to_drup_format);
+    random_unsat_proofs_check;
+    ("certify fig1a optimum (Ex. 7)", `Quick, test_certify_fig1a_optimum);
+    ("certify detects non-optimal bound", `Quick,
+     test_certify_detects_nonoptimal);
+    ("certify zero bound", `Quick, test_certify_zero_trivial);
+  ]

@@ -1,0 +1,144 @@
+(* Tests for the OpenQASM 2.0 reader/writer. *)
+
+open Test_util
+module Qasm = Qxm_circuit.Qasm
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Unitary = Qxm_circuit.Unitary
+
+let parse = Qasm.parse_string
+
+let test_minimal_program () =
+  let c =
+    parse
+      "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx \
+       q[0],q[1];\n"
+  in
+  Alcotest.(check int) "qubits" 3 (Circuit.num_qubits c);
+  Alcotest.(check int) "gates" 2 (Circuit.length c)
+
+let test_all_single_gates () =
+  let c =
+    parse
+      "qreg q[1];\n\
+       id q[0]; x q[0]; y q[0]; z q[0]; h q[0]; s q[0]; sdg q[0];\n\
+       t q[0]; tdg q[0]; rx(0.5) q[0]; ry(pi/2) q[0]; rz(-pi) q[0];\n\
+       u1(0.1) q[0]; u2(0.1,0.2) q[0]; u3(0.1,0.2,0.3) q[0];\n"
+  in
+  Alcotest.(check int) "15 gates" 15 (Circuit.length c)
+
+let test_parameter_expressions () =
+  let c = parse "qreg q[1];\nrz(2*pi/4 + 1 - 0.5) q[0];\n" in
+  match Circuit.gates c with
+  | [ Gate.Single (Gate.Rz v, 0) ] ->
+      Alcotest.(check (float 1e-9)) "value" ((Float.pi /. 2.0) +. 0.5) v
+  | _ -> Alcotest.fail "expected one rz"
+
+let test_power_and_funcs () =
+  let c = parse "qreg q[1];\nrz(2^3) q[0];\nrx(cos(0)) q[0];\n" in
+  match Circuit.gates c with
+  | [ Gate.Single (Gate.Rz e, 0); Gate.Single (Gate.Rx o, 0) ] ->
+      Alcotest.(check (float 1e-9)) "2^3" 8.0 e;
+      Alcotest.(check (float 1e-9)) "cos 0" 1.0 o
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_multiple_qregs () =
+  let c = parse "qreg a[2];\nqreg b[2];\ncx a[1],b[0];\n" in
+  Alcotest.(check int) "flattened" 4 (Circuit.num_qubits c);
+  Alcotest.(check (list (pair int int))) "offsets" [ (1, 2) ]
+    (Circuit.cnots c)
+
+let test_broadcasting () =
+  let c = parse "qreg q[3];\nh q;\n" in
+  Alcotest.(check int) "h on all" 3 (Circuit.length c);
+  let c2 = parse "qreg a[2];\nqreg b[2];\ncx a,b;\n" in
+  Alcotest.(check (list (pair int int)))
+    "pairwise cx"
+    [ (0, 2); (1, 3) ]
+    (Circuit.cnots c2)
+
+let test_barrier_and_measure () =
+  let c =
+    parse
+      "qreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0],q[1];\nmeasure q[0] -> \
+       c[0];\n"
+  in
+  Alcotest.(check int) "barrier kept, measure dropped" 2 (Circuit.length c)
+
+let test_comments () =
+  let c = parse "// leading comment\nqreg q[1]; // trailing\nx q[0];\n" in
+  Alcotest.(check int) "one gate" 1 (Circuit.length c)
+
+let test_swap_statement () =
+  let c = parse "qreg q[2];\nswap q[0],q[1];\n" in
+  Alcotest.(check int) "swaps" 1 (Circuit.count_swaps c)
+
+let check_error source expected_fragment () =
+  match parse source with
+  | exception Qasm.Parse_error { message; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S" expected_fragment)
+        true
+        (contains_substring message expected_fragment)
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_roundtrip () =
+  let original = Qxm_benchmarks.Examples.fig1a in
+  let text = Qasm.to_string original in
+  let parsed = parse text in
+  Alcotest.(check bool) "structurally equal" true
+    (Circuit.equal original parsed)
+
+let roundtrip_random =
+  qtest ~count:50 "random circuits round-trip through QASM"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Qxm_benchmarks.Generator.random_circuit ~seed ~qubits:4 ~cnots:8
+          ~singles:8
+      in
+      Circuit.equal c (parse (Qasm.to_string c)))
+
+let roundtrip_preserves_semantics =
+  qtest ~count:25 "round-trip preserves the unitary"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Qxm_benchmarks.Generator.random_circuit ~seed ~qubits:3 ~cnots:5
+          ~singles:5
+      in
+      let c' = parse (Qasm.to_string c) in
+      Unitary.equal_strict (Unitary.unitary c) (Unitary.unitary c'))
+
+let test_creg_output () =
+  let text = Qasm.to_string ~creg:true (Circuit.empty 2) in
+  Alcotest.(check bool) "creg" true (contains_substring text "creg c[2]");
+  Alcotest.(check bool) "measure" true
+    (contains_substring text "measure q[1] -> c[1]")
+
+let suite =
+  [
+    ("minimal program", `Quick, test_minimal_program);
+    ("all single gates", `Quick, test_all_single_gates);
+    ("parameter expressions", `Quick, test_parameter_expressions);
+    ("power and functions", `Quick, test_power_and_funcs);
+    ("multiple qregs flattened", `Quick, test_multiple_qregs);
+    ("register broadcasting", `Quick, test_broadcasting);
+    ("barrier kept, measure dropped", `Quick, test_barrier_and_measure);
+    ("comments ignored", `Quick, test_comments);
+    ("swap statement", `Quick, test_swap_statement);
+    ("error: unknown register", `Quick,
+     check_error "qreg q[1];\nx r[0];\n" "unknown quantum register");
+    ("error: index out of range", `Quick,
+     check_error "qreg q[1];\nx q[4];\n" "out of range");
+    ("error: self cx", `Quick,
+     check_error "qreg q[2];\ncx q[0],q[0];\n" "identical");
+    ("error: bad gate", `Quick,
+     check_error "qreg q[1];\nfrobnicate q[0];\n" "not supported");
+    ("error: duplicate register", `Quick,
+     check_error "qreg q[1];\nqreg q[2];\n" "duplicate");
+    ("fig1a roundtrip", `Quick, test_roundtrip);
+    roundtrip_random;
+    roundtrip_preserves_semantics;
+    ("creg emission", `Quick, test_creg_output);
+  ]

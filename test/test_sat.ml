@@ -1,0 +1,289 @@
+(* Tests for the CDCL solver substrate: Vec, Lit, Heap, Solver, Dimacs. *)
+
+open Test_util
+module Vec = Qxm_sat.Vec
+module Lit = Qxm_sat.Lit
+module Heap = Qxm_sat.Heap
+module Solver = Qxm_sat.Solver
+module Dimacs = Qxm_sat.Dimacs
+
+(* -- Vec ------------------------------------------------------------- *)
+
+let test_vec_push_pop () =
+  let v = Vec.Int.create () in
+  for i = 0 to 99 do
+    Vec.Int.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.Int.size v);
+  Alcotest.(check int) "get" 42 (Vec.Int.get v 42);
+  Alcotest.(check int) "pop" 99 (Vec.Int.pop v);
+  Alcotest.(check int) "size after pop" 99 (Vec.Int.size v);
+  Vec.Int.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Vec.Int.size v);
+  Vec.Int.clear v;
+  Alcotest.(check bool) "empty" true (Vec.Int.is_empty v)
+
+let test_vec_swap_remove () =
+  let v = Vec.Int.of_list [ 0; 1; 2; 3; 4 ] in
+  Vec.Int.swap_remove v 1;
+  Alcotest.(check (list int)) "swap_remove" [ 0; 4; 2; 3 ]
+    (Vec.Int.to_list v)
+
+let test_vec_grow_to () =
+  let v = Vec.Int.create () in
+  Vec.Int.grow_to v 5 7;
+  Alcotest.(check (list int)) "grow" [ 7; 7; 7; 7; 7 ] (Vec.Int.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.Int.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.Int.get")
+    (fun () -> ignore (Vec.Int.get v 1));
+  let empty = Vec.Int.create () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.Int.pop")
+    (fun () -> ignore (Vec.Int.pop empty))
+
+let test_poly_filter () =
+  let v = Vec.Poly.create () in
+  List.iter (Vec.Poly.push v) [ 1; 2; 3; 4; 5; 6 ];
+  Vec.Poly.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "filter" [ 2; 4; 6 ] (Vec.Poly.to_list v)
+
+let vec_roundtrip =
+  qtest "vec of_list/to_list roundtrip"
+    QCheck2.Gen.(list small_int)
+    (fun l -> Vec.Int.to_list (Vec.Int.of_list l) = l)
+
+(* -- Lit ------------------------------------------------------------- *)
+
+let test_lit_basic () =
+  let l = Lit.make 3 true in
+  Alcotest.(check int) "var" 3 (Lit.var l);
+  Alcotest.(check bool) "sign" true (Lit.sign l);
+  Alcotest.(check bool) "negate sign" false (Lit.sign (Lit.negate l));
+  Alcotest.(check int) "negate var" 3 (Lit.var (Lit.negate l));
+  Alcotest.(check int) "double negate" l (Lit.negate (Lit.negate l))
+
+let test_lit_dimacs () =
+  Alcotest.(check int) "pos" 4 (Lit.to_int (Lit.pos 3));
+  Alcotest.(check int) "neg" (-4) (Lit.to_int (Lit.neg_of 3));
+  Alcotest.check_raises "of_int 0" (Invalid_argument "Lit.of_int: zero")
+    (fun () -> ignore (Lit.of_int 0))
+
+let lit_roundtrip =
+  qtest "lit dimacs roundtrip"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun i ->
+      Lit.to_int (Lit.of_int i) = i && Lit.to_int (Lit.of_int (-i)) = -i)
+
+(* -- Heap ------------------------------------------------------------ *)
+
+let heap_sorts =
+  qtest "heap pops in activity order"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range 0.0 100.0))
+    (fun acts ->
+      let act = Array.of_list acts in
+      let h = Heap.create () in
+      Array.iteri (fun v _ -> Heap.push h v act) act;
+      let popped = ref [] in
+      while not (Heap.is_empty h) do
+        popped := Heap.pop h act :: !popped
+      done;
+      let ascending = List.rev !popped in
+      (* popped in descending activity: reversed list is ascending *)
+      let rec ok = function
+        | a :: (b :: _ as rest) -> act.(a) <= act.(b) && ok rest
+        | _ -> true
+      in
+      ok (List.rev ascending) && List.length !popped = Array.length act)
+
+let test_heap_decrease () =
+  let act = [| 1.0; 2.0; 3.0 |] in
+  let h = Heap.create () in
+  Array.iteri (fun v _ -> Heap.push h v act) act;
+  act.(0) <- 10.0;
+  Heap.decrease h 0 act;
+  Alcotest.(check int) "bumped to top" 0 (Heap.pop h act)
+
+(* -- Solver ---------------------------------------------------------- *)
+
+let test_trivial_sat () =
+  let s = solver_with 2 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let m = Solver.model s in
+  Alcotest.(check bool) "model ok" true (m.(0) || m.(1))
+
+let test_trivial_unsat () =
+  let s = solver_with 1 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  Solver.add_clause s [ Lit.neg_of 0 ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not ok" false (Solver.ok s)
+
+let test_empty_clause () =
+  let s = solver_with 1 in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_unit_propagation () =
+  let s = solver_with 3 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  Solver.add_clause s [ Lit.neg_of 0; Lit.pos 1 ];
+  Solver.add_clause s [ Lit.neg_of 1; Lit.pos 2 ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "chain" true
+    (Solver.value s (Lit.pos 0)
+    && Solver.value s (Lit.pos 1)
+    && Solver.value s (Lit.pos 2))
+
+let test_tautology_ignored () =
+  let s = solver_with 1 in
+  Solver.add_clause s [ Lit.pos 0; Lit.neg_of 0 ];
+  Alcotest.(check int) "no clause stored" 0 (Solver.nclauses s);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_assumptions () =
+  let s = solver_with 2 in
+  Solver.add_clause s [ Lit.pos 0; Lit.pos 1 ];
+  Alcotest.(check bool) "sat under a=false,b=true" true
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.pos 1 ] s = Solver.Sat);
+  Alcotest.(check bool) "unsat under both false" true
+    (Solver.solve ~assumptions:[ Lit.neg_of 0; Lit.neg_of 1 ] s
+    = Solver.Unsat);
+  (* solver must remain usable after an assumption failure *)
+  Alcotest.(check bool) "sat again" true (Solver.solve s = Solver.Sat)
+
+let test_unsat_core () =
+  let s = solver_with 3 in
+  Solver.add_clause s [ Lit.neg_of 0; Lit.neg_of 1 ];
+  let r =
+    Solver.solve ~assumptions:[ Lit.pos 0; Lit.pos 1; Lit.pos 2 ] s
+  in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "core only over conflicting assumptions" true
+    (List.for_all (fun l -> Lit.var l < 2) core)
+
+let test_pigeonhole n () =
+  (* n+1 pigeons in n holes: classic UNSAT family. *)
+  let s = Solver.create () in
+  let v p h = Lit.pos ((p * n) + h) in
+  for _ = 1 to (n + 1) * n do
+    ignore (Solver.new_var s)
+  done;
+  for p = 0 to n do
+    Solver.add_clause s (List.init n (fun h -> v p h))
+  done;
+  for h = 0 to n - 1 do
+    for p1 = 0 to n do
+      for p2 = p1 + 1 to n do
+        Solver.add_clause s [ Lit.negate (v p1 h); Lit.negate (v p2 h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_conflict_limit () =
+  let s = solver_with 1 in
+  Solver.add_clause s [ Lit.pos 0 ];
+  (* a limit of 0 conflicts still solves trivial instances *)
+  Alcotest.(check bool) "solves within budget" true
+    (Solver.solve ~conflict_limit:max_int s = Solver.Sat)
+
+let solver_agrees_with_brute_force =
+  qtest ~count:300 "solver agrees with brute force"
+    (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:3)
+    (fun (nvars, clauses) ->
+      let s = solver_with nvars in
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_sat nvars clauses in
+      match Solver.solve s with
+      | Solver.Sat -> expected && model_satisfies clauses (Solver.model s)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+let solver_models_are_valid =
+  qtest ~count:200 "every reported model satisfies the clauses"
+    (cnf_gen ~max_vars:20 ~max_clauses:80 ~max_len:4)
+    (fun (nvars, clauses) ->
+      let s = solver_with nvars in
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Sat -> model_satisfies clauses (Solver.model s)
+      | _ -> true)
+
+let incremental_assumptions_sound =
+  qtest ~count:150 "assumption solving matches adding units"
+    (cnf_gen ~max_vars:7 ~max_clauses:25 ~max_len:3)
+    (fun (nvars, clauses) ->
+      let assumption = Lit.pos 0 in
+      let s1 = solver_with nvars in
+      List.iter (Solver.add_clause s1) clauses;
+      let r1 = Solver.solve ~assumptions:[ assumption ] s1 in
+      let expected = brute_sat nvars ([ assumption ] :: clauses) in
+      match r1 with
+      | Solver.Sat -> expected
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+(* -- Dimacs ---------------------------------------------------------- *)
+
+let test_dimacs_parse () =
+  let p =
+    Dimacs.parse_string "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+  in
+  Alcotest.(check int) "vars" 3 p.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length p.clauses)
+
+let test_dimacs_roundtrip () =
+  let p = Dimacs.parse_string "p cnf 4 3\n1 2 0\n-3 4 0\n-1 -4 0\n" in
+  let text = Format.asprintf "%a" Dimacs.pp p in
+  let p2 = Dimacs.parse_string text in
+  Alcotest.(check bool) "roundtrip" true (p.clauses = p2.clauses)
+
+let test_dimacs_bad () =
+  Alcotest.(check bool) "rejects junk" true
+    (try
+       ignore (Dimacs.parse_string "p cnf x y\n");
+       false
+     with Failure _ -> true)
+
+let test_dimacs_load_solve () =
+  let p = Dimacs.parse_string "p cnf 2 2\n1 0\n-1 2 0\n" in
+  let s = Solver.create () in
+  Dimacs.load s p;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "forced" true (Solver.value s (Lit.pos 1))
+
+let suite =
+  [
+    ("vec push/pop", `Quick, test_vec_push_pop);
+    ("vec swap_remove", `Quick, test_vec_swap_remove);
+    ("vec grow_to", `Quick, test_vec_grow_to);
+    ("vec bounds", `Quick, test_vec_bounds);
+    ("poly filter_in_place", `Quick, test_poly_filter);
+    vec_roundtrip;
+    ("lit basics", `Quick, test_lit_basic);
+    ("lit dimacs", `Quick, test_lit_dimacs);
+    lit_roundtrip;
+    heap_sorts;
+    ("heap decrease", `Quick, test_heap_decrease);
+    ("solver trivial sat", `Quick, test_trivial_sat);
+    ("solver trivial unsat", `Quick, test_trivial_unsat);
+    ("solver empty clause", `Quick, test_empty_clause);
+    ("solver unit propagation", `Quick, test_unit_propagation);
+    ("solver tautology ignored", `Quick, test_tautology_ignored);
+    ("solver assumptions", `Quick, test_assumptions);
+    ("solver unsat core", `Quick, test_unsat_core);
+    ("pigeonhole 4", `Quick, test_pigeonhole 4);
+    ("pigeonhole 6", `Slow, test_pigeonhole 6);
+    ("solver conflict limit", `Quick, test_conflict_limit);
+    solver_agrees_with_brute_force;
+    solver_models_are_valid;
+    incremental_assumptions_sound;
+    ("dimacs parse", `Quick, test_dimacs_parse);
+    ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
+    ("dimacs rejects junk", `Quick, test_dimacs_bad);
+    ("dimacs load+solve", `Quick, test_dimacs_load_solve);
+  ]
