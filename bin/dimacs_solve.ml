@@ -20,7 +20,15 @@ let () =
       prerr_endline "dimacs_solve: missing input file";
       exit 2
   | Some p ->
-      let problem = Qxm_sat.Dimacs.parse_file p in
+      let problem =
+        try Qxm_sat.Dimacs.parse_file p with
+        | Qxm_sat.Dimacs.Parse_error { line; message } ->
+            Printf.eprintf "%s:%d: %s\n" p line message;
+            exit 1
+        | Sys_error message ->
+            Printf.eprintf "dimacs_solve: %s\n" message;
+            exit 1
+      in
       let solver = Qxm_sat.Solver.create () in
       Qxm_sat.Dimacs.load solver problem;
       (match

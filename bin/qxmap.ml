@@ -15,6 +15,8 @@ module Coupling = Qxm_arch.Coupling
 module Devices = Qxm_arch.Devices
 module Mapper = Qxm_exact.Mapper
 module Strategy = Qxm_exact.Strategy
+module Portfolio = Qxm_exact.Portfolio
+module Fault = Qxm_sat.Fault
 
 let device_conv =
   let parse s =
@@ -80,6 +82,79 @@ let report_summary (r : Mapper.report) =
     | Some false -> ", VERIFICATION FAILED"
     | None -> "")
 
+let cascade_conv =
+  let parse s =
+    let names = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match Portfolio.engine_of_string name with
+          | Some e -> go (e :: acc) rest
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "unknown fallback engine %S (try: sabre, astar, \
+                       stochastic)"
+                      name)))
+    in
+    go [] names
+  in
+  let print fmt es =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map Portfolio.engine_name es))
+  in
+  Arg.conv (parse, print)
+
+(* Fault-injection knob for exercising degradation paths from the shell:
+   unknown | after=N | truncate=N | seed=K:P *)
+let inject_conv =
+  let parse s =
+    let num name v =
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "bad %s count %S" name v))
+    in
+    match String.split_on_char '=' s with
+    | [ "unknown" ] -> Ok Fault.Always_unknown
+    | [ "after"; n ] -> Result.map (fun n -> Fault.After_solves n) (num "solve" n)
+    | [ "truncate"; n ] ->
+        Result.map (fun n -> Fault.Truncate_conflicts n) (num "conflict" n)
+    | [ "seed"; kp ] -> (
+        match String.split_on_char ':' kp with
+        | [ k; p ] -> (
+            match (int_of_string_opt k, float_of_string_opt p) with
+            | Some seed, Some unknown_prob
+              when unknown_prob >= 0.0 && unknown_prob <= 1.0 ->
+                Ok (Fault.Seeded { seed; unknown_prob })
+            | _ -> Error (`Msg (Printf.sprintf "bad seed spec %S" kp)))
+        | _ -> Error (`Msg "seed spec is seed=<int>:<prob>"))
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown fault spec %S (try: unknown, after=N, truncate=N, \
+                 seed=K:P)"
+                s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<fault>")
+
+let portfolio_summary (r : Portfolio.report) =
+  Printf.eprintf
+    "mapped: %d gates (overhead F = %d), provenance %s%s, %.3fs, %d solves\n"
+    r.total_gates r.f_cost
+    (Portfolio.provenance_string r.provenance)
+    (match r.verified with
+    | Some true -> ", equivalence verified"
+    | Some false -> ", VERIFICATION FAILED"
+    | None -> "")
+    r.runtime r.solves;
+  List.iter
+    (fun (s : Portfolio.stage) ->
+      Printf.eprintf "  stage %-16s %8.3fs %6d solves  %s\n" s.stage s.spent
+        s.solves s.outcome)
+    r.stages
+
 let map_cmd =
   let strategy_arg =
     Arg.(
@@ -103,26 +178,93 @@ let map_cmd =
       & opt (some float) None
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
   in
-  let run input device strategy subsets timeout output draw =
+  let portfolio_arg =
+    Arg.(
+      value & flag
+      & info [ "portfolio" ]
+          ~doc:
+            "Resilient portfolio mode: staged exact solving with \
+             graceful degradation to heuristic fallbacks.  Never fails \
+             with a bare timeout when any engine can produce a valid \
+             mapping.")
+  in
+  let stage_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "stage-budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Portfolio mode: wall-clock budget for the exact stages \
+             (probe + conflict ladder).  Defaults to 70% of --timeout; \
+             the rest is the reserve for fallback and verification.")
+  in
+  let fallback_arg =
+    Arg.(
+      value
+      & opt cascade_conv Portfolio.default.cascade
+      & info [ "fallback" ] ~docv:"ENGINES"
+          ~doc:
+            "Portfolio mode: comma-separated fallback cascade, tried in \
+             order (sabre, astar, stochastic).")
+  in
+  let inject_arg =
+    Arg.(
+      value
+      & opt (some inject_conv) None
+      & info [ "inject" ] ~docv:"FAULT"
+          ~doc:
+            "Testing knob: arm deterministic SAT fault injection \
+             (unknown, after=N, truncate=N, seed=K:P) to exercise the \
+             degradation paths.")
+  in
+  let run input device strategy subsets timeout portfolio stage_budget
+      fallback inject output draw =
     let circuit = load input in
-    let options =
-      { Mapper.default with strategy; use_subsets = subsets; timeout }
-    in
-    match Mapper.run ~options ~arch:device circuit with
-    | Ok r ->
-        report_summary r;
-        if draw then Draw.print r.elementary;
-        emit output r.elementary;
-        if r.verified = Some false then exit 1
-    | Error e ->
-        Format.eprintf "mapping failed: %a@." Mapper.pp_failure e;
-        exit 1
+    Option.iter Fault.arm inject;
+    if portfolio then begin
+      let options =
+        {
+          Portfolio.default with
+          exact = { Mapper.default with strategy; use_subsets = subsets };
+          budget = timeout;
+          exact_budget = stage_budget;
+          cascade = fallback;
+        }
+      in
+      match Portfolio.run ~options ~arch:device circuit with
+      | Ok r ->
+          portfolio_summary r;
+          if draw then Draw.print r.elementary;
+          emit output r.elementary;
+          if r.verified = Some false then exit 1
+      | Error e ->
+          Format.eprintf "mapping failed: %a@." Portfolio.pp_failure e;
+          exit 1
+    end
+    else begin
+      let options =
+        { Mapper.default with strategy; use_subsets = subsets; timeout }
+      in
+      match Mapper.run ~options ~arch:device circuit with
+      | Ok r ->
+          report_summary r;
+          if draw then Draw.print r.elementary;
+          emit output r.elementary;
+          if r.verified = Some false then exit 1
+      | Error e ->
+          Format.eprintf "mapping failed: %a@." Mapper.pp_failure e;
+          exit 1
+    end
   in
   Cmd.v
-    (Cmd.info "map" ~doc:"Exact SAT-based mapping (minimal SWAP/H cost).")
+    (Cmd.info "map"
+       ~doc:
+         "Exact SAT-based mapping (minimal SWAP/H cost), optionally as \
+          a resilient portfolio with heuristic fallback.")
     Term.(
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
-      $ timeout_arg $ output_arg $ draw_arg)
+      $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
+      $ inject_arg $ output_arg $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

@@ -230,9 +230,12 @@ let parse_qarg lx env =
           advance lx;
           let idx =
             match lx.tok with
-            | Number f when Float.is_integer f ->
+            | Number f when Float.is_integer f && Float.abs f <= 1e9 ->
                 advance lx;
                 int_of_float f
+            | Number f when Float.is_integer f ->
+                fail lx.tok_line "index %.0f out of range for %s[%d]" f name
+                  reg.size
             | _ -> fail lx.tok_line "expected qubit index"
           in
           expect_punct lx ']';
@@ -323,6 +326,9 @@ and parse_statement lx env =
         match lx.tok with
         | Number f when Float.is_integer f && f > 0.0 ->
             advance lx;
+            (* cap keeps a corrupted header from driving allocation *)
+            if f > 1e6 then
+              fail lx.tok_line "register size %.0f is unreasonably large" f;
             int_of_float f
         | _ -> fail lx.tok_line "expected register size"
       in

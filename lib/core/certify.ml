@@ -3,6 +3,42 @@ module Proof = Qxm_sat.Proof
 module Cnf = Qxm_encode.Cnf
 module Pb = Qxm_encode.Pb
 module Minimize = Qxm_opt.Minimize
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Coupling = Qxm_arch.Coupling
+
+let compliance ~arch circuit =
+  let m = Coupling.num_qubits arch in
+  let in_range q = q >= 0 && q < m in
+  let exception Reject of string in
+  try
+    if Circuit.num_qubits circuit > m then
+      raise
+        (Reject
+           (Printf.sprintf "circuit spans %d wires, device has %d"
+              (Circuit.num_qubits circuit) m));
+    List.iteri
+      (fun i g ->
+        let reject fmt =
+          Printf.ksprintf (fun s -> raise (Reject (Printf.sprintf "gate %d: %s" i s))) fmt
+        in
+        match g with
+        | Gate.Single (_, q) ->
+            if not (in_range q) then reject "qubit %d out of range" q
+        | Gate.Barrier qs ->
+            List.iter
+              (fun q -> if not (in_range q) then reject "qubit %d out of range" q)
+              qs
+        | Gate.Swap (a, b) ->
+            reject "undischarged SWAP %d,%d in elementary circuit" a b
+        | Gate.Cnot (c, t) ->
+            if not (in_range c && in_range t) then
+              reject "CNOT %d,%d out of range" c t
+            else if not (Coupling.allows arch c t) then
+              reject "CNOT %d,%d violates the coupling map" c t)
+      (Circuit.gates circuit);
+    Ok ()
+  with Reject message -> Error message
 
 type outcome =
   | Certified of Proof.t

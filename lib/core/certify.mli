@@ -10,6 +10,15 @@
     the circuit is correct, and nothing cheaper exists (for the given
     instance: architecture, strategy spots, cost model). *)
 
+val compliance :
+  arch:Qxm_arch.Coupling.t -> Qxm_circuit.Circuit.t -> (unit, string) result
+(** Structural validity of an elementary (post-decomposition) circuit:
+    every qubit index on the device, every CNOT on a directed coupling
+    edge, no SWAP gates left.  This is the certificate layer every
+    portfolio result — exact or degraded — must pass before being
+    returned; unlike {!optimality} it involves no SAT solving, so it
+    stays available under fault injection and budget exhaustion. *)
+
 type outcome =
   | Certified of Qxm_sat.Proof.t
       (** No solution with objective ≤ [cost] − 1 exists; the returned

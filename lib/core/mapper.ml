@@ -16,6 +16,7 @@ type options = {
   strategy : Strategy.t;
   use_subsets : bool;
   timeout : float option;
+  conflict_limit : int;
   opt_strategy : Minimize.strategy;
   amo : Amo.encoding;
   verify : bool;
@@ -28,6 +29,7 @@ let default =
     strategy = Strategy.Minimal;
     use_subsets = true;
     timeout = None;
+    conflict_limit = -1;
     opt_strategy = Minimize.Linear_descent;
     amo = Amo.default;
     verify = true;
@@ -41,6 +43,7 @@ type report = {
   initial : int array;
   final : int array;
   f_cost : int;
+  objective_cost : int;
   total_gates : int;
   optimal : bool;
   runtime : float;
@@ -149,7 +152,7 @@ let solve_instance ~options ~deadline ~bound inst =
   let outcome =
     Minimize.minimize ~strategy:options.opt_strategy
       ?deadline:(Option.map Fun.id deadline)
-      ?upper_bound:bound ~cnf
+      ~conflict_limit:options.conflict_limit ?upper_bound:bound ~cnf
       ~objective:(Encoding.objective built) ()
   in
   match outcome with
@@ -169,7 +172,14 @@ let solve_instance ~options ~deadline ~bound inst =
 
 let run ?(options = default) ~arch circuit =
   let start = Unix.gettimeofday () in
-  let deadline = Option.map (fun t -> start +. t) options.timeout in
+  (* Reserve a slice of the budget for reconstruction and verification:
+     solving stops early enough that an incumbent found near the deadline
+     still becomes a full report instead of a late [Timeout]. *)
+  let deadline =
+    Option.map
+      (fun t -> start +. t -. Float.min (0.1 *. t) 1.0)
+      options.timeout
+  in
   let m = Coupling.num_qubits arch in
   let n = Circuit.num_qubits circuit in
   if n > m then Error (Too_many_logical { logical = n; physical = m })
@@ -266,6 +276,7 @@ let run ?(options = default) ~arch circuit =
             initial = Array.map (fun p -> back.(p)) init_l;
             final = Array.map (fun p -> back.(p)) final_l;
             f_cost;
+            objective_cost = s.s_cost;
             total_gates = Circuit.length elementary;
             optimal = !all_optimal && not !any_budget;
             runtime = Unix.gettimeofday () -. start;

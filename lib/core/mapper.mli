@@ -14,7 +14,16 @@ type options = {
   use_subsets : bool;
       (** Sec. 4.1: solve one square instance per connected physical-qubit
           subset instead of one instance on the whole device. *)
-  timeout : float option;  (** wall-clock seconds for the whole call *)
+  timeout : float option;
+      (** Wall-clock seconds for the whole call.  A slice of it (10%,
+          at most one second) is reserved for reconstruction and
+          verification, so the SAT stages stop slightly earlier and a
+          late incumbent still yields a complete report. *)
+  conflict_limit : int;
+      (** Per-solve-call conflict budget handed to the optimizer
+          ([-1] = unlimited).  The portfolio layer uses this as its
+          escalation ladder; exhausting it yields an anytime incumbent
+          ([optimal = false]) or [Timeout] when no model was found. *)
   opt_strategy : Qxm_opt.Minimize.strategy;
   amo : Qxm_encode.Amo.encoding;
   verify : bool;
@@ -36,8 +45,8 @@ type options = {
 }
 
 val default : options
-(** Minimal strategy, subsets on, no timeout, linear descent, sequential
-    AMO, verification on. *)
+(** Minimal strategy, subsets on, no timeout, unlimited conflicts,
+    linear descent, sequential AMO, verification on. *)
 
 type report = {
   mapped : Qxm_circuit.Circuit.t;
@@ -48,6 +57,11 @@ type report = {
   initial : int array;  (** logical qubit → physical qubit, at the start *)
   final : int array;  (** logical qubit → physical qubit, at the end *)
   f_cost : int;  (** Eq. (5): 7·#SWAPs + 4·#switched CNOTs *)
+  objective_cost : int;
+      (** The SAT objective value of the returned model, in the units of
+          [costs].  Under {!Encoding.paper_costs} it upper-bounds
+          [f_cost]; it is the sound warm-start value for a later run's
+          [upper_bound] (e.g. the portfolio's escalation rungs). *)
   total_gates : int;  (** Table 1's c: gate count of [elementary] *)
   optimal : bool;  (** proven minimal for the chosen strategy *)
   runtime : float;  (** seconds *)

@@ -1,0 +1,337 @@
+module Circuit = Qxm_circuit.Circuit
+module Coupling = Qxm_arch.Coupling
+module Sabre = Qxm_heuristic.Sabre
+module Astar = Qxm_heuristic.Astar_mapper
+module Stochastic = Qxm_heuristic.Stochastic_swap
+
+type provenance = Exact_optimal | Exact_incumbent | Heuristic of string
+
+let provenance_string = function
+  | Exact_optimal -> "exact-optimal"
+  | Exact_incumbent -> "exact-incumbent"
+  | Heuristic e -> "heuristic:" ^ e
+
+let pp_provenance fmt p = Format.pp_print_string fmt (provenance_string p)
+
+type engine = Sabre | Astar | Stochastic
+
+let engine_name = function
+  | Sabre -> "sabre"
+  | Astar -> "astar"
+  | Stochastic -> "stochastic"
+
+let engine_of_string = function
+  | "sabre" -> Some Sabre
+  | "astar" | "a*" -> Some Astar
+  | "stochastic" | "swap" -> Some Stochastic
+  | _ -> None
+
+type stage = { stage : string; spent : float; solves : int; outcome : string }
+
+type options = {
+  exact : Mapper.options;
+  budget : float option;
+  exact_budget : float option;
+  exact_share : float;
+  ladder : int list;
+  probe : bool;
+  cascade : engine list;
+  seed : int;
+}
+
+let default =
+  {
+    exact = Mapper.default;
+    budget = None;
+    exact_budget = None;
+    exact_share = 0.7;
+    ladder = [ 4000; -1 ];
+    probe = true;
+    cascade = [ Sabre; Astar; Stochastic ];
+    seed = 0;
+  }
+
+type report = {
+  mapped : Circuit.t;
+  elementary : Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  provenance : provenance;
+  optimal : bool;
+  verified : bool option;
+  runtime : float;
+  solves : int;
+  stages : stage list;
+}
+
+type failure =
+  | Too_many_logical of { logical : int; physical : int }
+  | Exhausted of stage list
+
+let pp_failure fmt = function
+  | Too_many_logical { logical; physical } ->
+      Format.fprintf fmt "circuit needs %d qubits, device has %d" logical
+        physical
+  | Exhausted stages ->
+      Format.fprintf fmt "every portfolio stage failed:";
+      List.iter
+        (fun s -> Format.fprintf fmt "@ [%s: %s]" s.stage s.outcome)
+        stages
+
+(* A stage result awaiting the final provenance decision. *)
+type candidate = {
+  c_mapped : Circuit.t;
+  c_elementary : Circuit.t;
+  c_initial : int array;
+  c_final : int array;
+  c_f_cost : int;
+  c_total : int;
+  c_verified : bool option;
+  c_provenance : provenance;
+}
+
+let certified ~arch c =
+  match (Certify.compliance ~arch c.c_elementary, c.c_verified) with
+  | Error msg, _ -> Error ("rejected: " ^ msg)
+  | Ok (), Some false -> Error "rejected: equivalence check failed"
+  | Ok (), (None | Some true) -> Ok c
+
+let run ?(options = default) ~arch circuit =
+  let start = Unix.gettimeofday () in
+  let m = Coupling.num_qubits arch in
+  let n = Circuit.num_qubits circuit in
+  if n > m then Error (Too_many_logical { logical = n; physical = m })
+  else begin
+    let stages = ref [] in
+    let solves = ref 0 in
+    let record ~stage ~t0 ~stage_solves outcome =
+      solves := !solves + stage_solves;
+      stages :=
+        {
+          stage;
+          spent = Unix.gettimeofday () -. t0;
+          solves = stage_solves;
+          outcome;
+        }
+        :: !stages
+    in
+    let exact_deadline =
+      match (options.exact_budget, options.budget) with
+      | Some e, _ -> Some (start +. e)
+      | None, Some b -> Some (start +. (options.exact_share *. b))
+      | None, None -> None
+    in
+    let exact_time_left () =
+      match exact_deadline with
+      | None -> None
+      | Some d -> Some (d -. Unix.gettimeofday ())
+    in
+    (* Best exact result so far (optimal or anytime incumbent). *)
+    let best_exact : Mapper.report option ref = ref None in
+    let note_exact (r : Mapper.report) =
+      match !best_exact with
+      | Some prev when prev.f_cost <= r.f_cost -> ()
+      | _ -> best_exact := Some r
+    in
+    let proved_optimal = ref false in
+    (* One exact stage: [strategy] is either the requested strategy (a
+       ladder rung) or one of its relaxations (the probe), so the best
+       incumbent's objective value is always a sound upper bound. *)
+    let run_exact ~stage ~strategy ~conflict_limit =
+      let t0 = Unix.gettimeofday () in
+      match exact_time_left () with
+      | Some left when left <= 0.0 ->
+          record ~stage ~t0 ~stage_solves:0 "skipped: exact budget spent"
+      | left ->
+          let upper_bound =
+            match
+              ( Option.map
+                  (fun (r : Mapper.report) -> r.objective_cost)
+                  !best_exact,
+                options.exact.upper_bound )
+            with
+            | Some a, Some b -> Some (min a b)
+            | (Some _ as s), None | None, (Some _ as s) -> s
+            | None, None -> None
+          in
+          let opts =
+            {
+              options.exact with
+              strategy;
+              conflict_limit;
+              timeout = left;
+              upper_bound;
+            }
+          in
+          let seeded = upper_bound <> options.exact.upper_bound in
+          (match Mapper.run ~options:opts ~arch circuit with
+          | Ok r ->
+              note_exact r;
+              if r.optimal && strategy = options.exact.strategy then
+                proved_optimal := true;
+              record ~stage ~t0 ~stage_solves:r.solves
+                (Printf.sprintf "%s F=%d"
+                   (if r.optimal then "optimal" else "incumbent")
+                   r.f_cost)
+          | Error Mapper.Timeout ->
+              record ~stage ~t0 ~stage_solves:0 "budget exhausted"
+          | Error Mapper.Unmappable ->
+              (* With a seeded bound, UNSAT only means "nothing cheaper
+                 than the incumbent", which proves the incumbent optimal
+                 when this rung had no other budget pressure. *)
+              if seeded && conflict_limit < 0 && strategy = options.exact.strategy
+              then proved_optimal := true;
+              record ~stage ~t0 ~stage_solves:0
+                (if seeded then "no improvement on incumbent" else "unsat")
+          | Error (Mapper.Too_many_logical _) ->
+              record ~stage ~t0 ~stage_solves:0 "failed: instance too large"
+          | exception e ->
+              record ~stage ~t0 ~stage_solves:0
+                ("failed: " ^ Printexc.to_string e))
+    in
+    (* Stage 1: relaxed-strategy probe for a fast incumbent. *)
+    (if options.probe && options.ladder <> [] then
+       match Strategy.relaxations options.exact.strategy with
+       | [] -> ()
+       | relax :: _ ->
+           let limit =
+             match options.ladder with
+             | l :: _ when l >= 0 -> l
+             | _ -> 4000
+           in
+           run_exact
+             ~stage:("probe:" ^ Strategy.name relax)
+             ~strategy:relax ~conflict_limit:limit);
+    (* Stage 2: conflict-limit ladder on the requested strategy. *)
+    List.iter
+      (fun limit ->
+        if not !proved_optimal then
+          run_exact
+            ~stage:
+              (Printf.sprintf "exact:%s"
+                 (if limit < 0 then "unlimited" else string_of_int limit))
+            ~strategy:options.exact.strategy ~conflict_limit:limit)
+      options.ladder;
+    let exact_candidate =
+      Option.map
+        (fun (r : Mapper.report) ->
+          {
+            c_mapped = r.mapped;
+            c_elementary = r.elementary;
+            c_initial = r.initial;
+            c_final = r.final;
+            c_f_cost = r.f_cost;
+            c_total = r.total_gates;
+            c_verified = r.verified;
+            c_provenance =
+              (if !proved_optimal then Exact_optimal else Exact_incumbent);
+          })
+        !best_exact
+    in
+    (* An exact result must pass the same gate as any fallback. *)
+    let exact_candidate =
+      match exact_candidate with
+      | None -> None
+      | Some c -> (
+          match certified ~arch c with
+          | Ok c -> Some c
+          | Error msg ->
+              record ~stage:"certify:exact" ~t0:(Unix.gettimeofday ())
+                ~stage_solves:0 msg;
+              None)
+    in
+    (* Stage 3: heuristic cascade, unless optimality is already proven. *)
+    let heuristic_candidate =
+      if !proved_optimal && exact_candidate <> None then None
+      else
+        let verify = options.exact.verify in
+        let rec cascade = function
+          | [] -> None
+          | engine :: rest -> (
+              let name = engine_name engine in
+              let t0 = Unix.gettimeofday () in
+              match
+                match engine with
+                | Sabre ->
+                    let r = Sabre.run ~verify ~arch circuit in
+                    {
+                      c_mapped = r.mapped;
+                      c_elementary = r.elementary;
+                      c_initial = r.initial;
+                      c_final = r.final;
+                      c_f_cost = r.f_cost;
+                      c_total = r.total_gates;
+                      c_verified = r.verified;
+                      c_provenance = Heuristic name;
+                    }
+                | Astar ->
+                    let r = Astar.run ~verify ~arch circuit in
+                    {
+                      c_mapped = r.mapped;
+                      c_elementary = r.elementary;
+                      c_initial = r.initial;
+                      c_final = r.final;
+                      c_f_cost = r.f_cost;
+                      c_total = r.total_gates;
+                      c_verified = r.verified;
+                      c_provenance = Heuristic name;
+                    }
+                | Stochastic ->
+                    let r =
+                      Stochastic.run_best ~seed:options.seed ~verify ~arch
+                        circuit
+                    in
+                    {
+                      c_mapped = r.mapped;
+                      c_elementary = r.elementary;
+                      c_initial = r.initial;
+                      c_final = r.final;
+                      c_f_cost = r.f_cost;
+                      c_total = r.total_gates;
+                      c_verified = r.verified;
+                      c_provenance = Heuristic name;
+                    }
+              with
+              | candidate -> (
+                  match certified ~arch candidate with
+                  | Ok c ->
+                      record ~stage:name ~t0 ~stage_solves:0
+                        (Printf.sprintf "ok F=%d" c.c_f_cost);
+                      Some c
+                  | Error msg ->
+                      record ~stage:name ~t0 ~stage_solves:0 msg;
+                      cascade rest)
+              | exception e ->
+                  record ~stage:name ~t0 ~stage_solves:0
+                    ("failed: " ^ Printexc.to_string e);
+                  cascade rest)
+        in
+        cascade options.cascade
+    in
+    let chosen =
+      match (exact_candidate, heuristic_candidate) with
+      | Some e, Some h -> Some (if h.c_f_cost < e.c_f_cost then h else e)
+      | (Some _ as c), None | None, (Some _ as c) -> c
+      | None, None -> None
+    in
+    match chosen with
+    | None -> Error (Exhausted (List.rev !stages))
+    | Some c ->
+        Ok
+          {
+            mapped = c.c_mapped;
+            elementary = c.c_elementary;
+            initial = c.c_initial;
+            final = c.c_final;
+            f_cost = c.c_f_cost;
+            total_gates = c.c_total;
+            provenance = c.c_provenance;
+            optimal = c.c_provenance = Exact_optimal;
+            verified = c.c_verified;
+            runtime = Unix.gettimeofday () -. start;
+            solves = !solves;
+            stages = List.rev !stages;
+          }
+  end

@@ -1,0 +1,126 @@
+(** Resilient portfolio mapper: staged exact solving with graceful
+    degradation to the heuristic engines.
+
+    The paper's exact formulation is NP-complete, so on large instances
+    the optimizer's budgets (deadline, conflict limit) are routinely
+    exhausted.  {!Mapper.run} alone then reports a bare [Timeout] even
+    though the repository ships three heuristic mappers that always
+    produce *some* valid mapping fast.  This module turns the exact
+    pipeline into the first stage of a budgeted portfolio:
+
+    + an optional {e probe} solves the instance under a relaxed
+      permutation strategy ({!Strategy.relaxations}) with a small
+      conflict budget, grabbing a cheap incumbent whose objective value
+      warm-starts everything after it;
+    + the exact pipeline runs under an escalating conflict-limit ladder,
+      each rung seeded with the best incumbent so far ([upper_bound]),
+      inside the exact stage's share of the wall-clock budget;
+    + on exhaustion the best SAT incumbent (the anytime
+      {!Qxm_opt.Minimize.outcome} surfaced through {!Mapper.report}) is
+      kept as a candidate and the configured heuristic cascade
+      (SABRE / A* / stochastic swap) runs until one engine succeeds;
+    + every candidate — exact or degraded — must pass
+      {!Certify.compliance} (and equivalence verification where
+      feasible) before it can be returned: a fallback may be
+      suboptimal, never invalid.
+
+    The returned {!report} carries honest provenance, per-stage timings
+    and budget-spend telemetry.  Degradation paths are exercised
+    deterministically by arming {!Qxm_sat.Fault} schedules in the tests
+    and via the [--inject] CLI knob. *)
+
+type provenance =
+  | Exact_optimal
+      (** The exact pipeline finished and proved minimality for the
+          requested strategy. *)
+  | Exact_incumbent
+      (** The returned circuit is a SAT model, but optimality was not
+          proven before the budget ran out (or the model came from a
+          relaxed-strategy probe). *)
+  | Heuristic of string
+      (** The named fallback engine (["sabre"], ["astar"],
+          ["stochastic"]) produced the returned circuit. *)
+
+val provenance_string : provenance -> string
+val pp_provenance : Format.formatter -> provenance -> unit
+
+type engine = Sabre | Astar | Stochastic
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+(** One pipeline stage's telemetry, in execution order. *)
+type stage = {
+  stage : string;  (** e.g. ["probe:triangle"], ["exact:4000"], ["sabre"] *)
+  spent : float;  (** wall-clock seconds consumed by the stage *)
+  solves : int;  (** SAT solver calls made by the stage *)
+  outcome : string;
+      (** ["optimal"], ["incumbent F=…"], ["budget exhausted"],
+          ["skipped: …"], ["rejected: …"], ["failed: …"], ["ok F=…"] *)
+}
+
+type options = {
+  exact : Mapper.options;
+      (** Options for the exact stages.  [timeout] is ignored (the
+          portfolio budgets below govern); [conflict_limit] is ignored
+          (the ladder governs); [upper_bound] composes with incumbent
+          seeding (the tighter bound wins). *)
+  budget : float option;
+      (** Total wall-clock budget.  [None] (default) lets the final
+          ladder rung run to completion, like the plain exact mapper. *)
+  exact_budget : float option;
+      (** Explicit wall-clock budget for probe + ladder; overrides
+          [exact_share].  The remainder of [budget] is the reserve for
+          fallback, reconstruction and verification. *)
+  exact_share : float;
+      (** Fraction of [budget] given to the exact stages when
+          [exact_budget] is [None] (default 0.7). *)
+  ladder : int list;
+      (** Escalating per-solve conflict limits for the exact rungs,
+          [-1] = unlimited (default [[4000; -1]]).  [[]] disables the
+          exact stage entirely. *)
+  probe : bool;
+      (** Run the relaxed-strategy probe first (default [true]; only
+          effective when the requested strategy has relaxations). *)
+  cascade : engine list;
+      (** Fallback engines in order (default
+          [[Sabre; Astar; Stochastic]]).  The first engine whose result
+          passes certification wins. *)
+  seed : int;  (** Seed for the stochastic fallback (determinism). *)
+}
+
+val default : options
+
+type report = {
+  mapped : Qxm_circuit.Circuit.t;
+  elementary : Qxm_circuit.Circuit.t;
+  initial : int array;
+  final : int array;
+  f_cost : int;
+  total_gates : int;
+  provenance : provenance;
+  optimal : bool;  (** [true] iff [provenance = Exact_optimal] *)
+  verified : bool option;
+      (** equivalence proof of the returned circuit, where feasible *)
+  runtime : float;
+  solves : int;  (** SAT solver calls across all stages *)
+  stages : stage list;  (** telemetry, in execution order *)
+}
+
+type failure =
+  | Too_many_logical of { logical : int; physical : int }
+  | Exhausted of stage list
+      (** Every stage failed or was rejected; the telemetry says why.
+          With a connected architecture and a sane circuit this cannot
+          happen unless every engine is disabled or faulted. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?options:options ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  (report, failure) result
+(** Map [circuit] onto [arch] with graceful degradation.  Never raises
+    on engine failures (they become [stages] telemetry); the input
+    contract is the same as {!Mapper.run}'s (no SWAP gates). *)

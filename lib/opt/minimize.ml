@@ -27,6 +27,13 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
   let solves = ref 0 in
   let solve ?(assumptions = []) () =
     incr solves;
+    (* The solver's [conflict_limit] is a cap on its *lifetime* conflict
+       count; rebase it so each minimization step gets the full per-call
+       budget instead of the first step starving all later ones. *)
+    let conflict_limit =
+      if conflict_limit < 0 then -1
+      else (Solver.stats solver).Solver.conflicts + conflict_limit
+    in
     Solver.solve ~assumptions ~deadline ~conflict_limit solver
   in
   let seeded_pb =

@@ -34,7 +34,11 @@ val minimize :
   outcome
 (** Minimize [objective] subject to the clauses already loaded in [cnf]'s
     solver.  [deadline] is an absolute timestamp; [conflict_limit] bounds
-    each individual solve call.  Weights must be positive.
+    each individual solve call (it is rebased on the solver's cumulative
+    conflict count before every call, so a descent of [k] steps may spend
+    up to [k · conflict_limit] conflicts in total).  Weights must be
+    positive.  Exhausting either budget ends the search with the best
+    model found so far and [optimal = false].
 
     [upper_bound] permanently constrains the objective to at most that
     value before the first solve — a warm start when a solution of known

@@ -1,43 +1,63 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
 type problem = { num_vars : int; clauses : Lit.t list list }
+
+(* Keep the variable space sane: a hostile or corrupted header must not
+   make [load] allocate gigabytes of watcher structures. *)
+let max_declared_vars = 50_000_000
 
 let parse_string text =
   let num_vars = ref (-1) in
   let clauses = ref [] in
   let current = ref [] in
   let lines = String.split_on_char '\n' text in
-  let handle_token tok =
+  let handle_token lineno tok =
     match int_of_string_opt tok with
-    | None -> failwith (Printf.sprintf "dimacs: bad token %S" tok)
+    | None -> fail lineno "bad token %S (expected an integer literal)" tok
     | Some 0 ->
         clauses := List.rev !current :: !clauses;
         current := []
     | Some i ->
         if !num_vars >= 0 && abs i > !num_vars then
-          failwith
-            (Printf.sprintf "dimacs: literal %d exceeds declared %d" i
-               !num_vars);
+          fail lineno "literal %d exceeds the %d variables declared" i
+            !num_vars;
         current := Lit.of_int i :: !current
   in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
       let line = String.trim line in
       if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
       else if line.[0] = 'p' then begin
+        if !num_vars >= 0 then fail lineno "duplicate problem line";
         match
           String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
           |> List.filter (fun s -> s <> "")
         with
-        | [ "p"; "cnf"; v; _c ] -> (
-            match int_of_string_opt v with
-            | Some v when v >= 0 -> num_vars := v
-            | _ -> failwith "dimacs: bad problem line")
-        | _ -> failwith "dimacs: bad problem line"
+        | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some v, Some c when v >= 0 && c >= 0 ->
+                if v > max_declared_vars then
+                  fail lineno "declared variable count %d is unreasonable" v;
+                num_vars := v
+            | _ ->
+                fail lineno
+                  "bad problem line %S (expected \"p cnf <vars> <clauses>\")"
+                  line)
+        | _ ->
+            fail lineno
+              "bad problem line %S (expected \"p cnf <vars> <clauses>\")"
+              line
       end
       else
         String.split_on_char ' ' line
         |> List.concat_map (String.split_on_char '\t')
         |> List.filter (fun s -> s <> "")
-        |> List.iter handle_token)
+        |> List.iter (handle_token lineno))
     lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;
   let declared = !num_vars in

@@ -650,6 +650,18 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
       Unknown
 
 let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
+  (* Deterministic fault injection (tests / --inject): a forced fault is
+     indistinguishable from a genuine budget exhaustion to the caller. *)
+  match Fault.on_solve () with
+  | Fault.Forced_unknown -> Unknown
+  | (Fault.Pass | Fault.Truncated _) as action ->
+  let conflict_limit =
+    match action with
+    | Fault.Truncated extra ->
+        let cap = s.conflicts + max 0 extra in
+        if conflict_limit < 0 then cap else min conflict_limit cap
+    | _ -> conflict_limit
+  in
   if not s.ok then Unsat
   else begin
     s.has_model <- false;

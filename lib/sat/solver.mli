@@ -43,7 +43,9 @@ val solve :
     forced true for this call only.  [conflict_limit] bounds the total
     number of conflicts explored; [deadline] is an absolute
     [Unix.gettimeofday]-style timestamp.  Exceeding either yields
-    [Unknown]. *)
+    [Unknown].  When a {!Fault} schedule is armed, the call may also
+    return [Unknown] or run under a tighter conflict budget as that
+    schedule dictates. *)
 
 val value : t -> Lit.t -> bool
 (** Value of a literal in the most recent model.

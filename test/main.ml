@@ -14,4 +14,5 @@ let () =
       ("integration", Test_integration.suite);
       ("proof", Test_proof.suite);
       ("costmodel", Test_costmodel.suite);
+      ("robustness", Test_robustness.suite);
     ]

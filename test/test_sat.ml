@@ -247,7 +247,7 @@ let test_dimacs_bad () =
     (try
        ignore (Dimacs.parse_string "p cnf x y\n");
        false
-     with Failure _ -> true)
+     with Dimacs.Parse_error { line = 1; _ } -> true)
 
 let test_dimacs_load_solve () =
   let p = Dimacs.parse_string "p cnf 2 2\n1 0\n-1 2 0\n" in
