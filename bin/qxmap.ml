@@ -4,7 +4,8 @@
      map        exact SAT-based mapping (the paper's method)
      heuristic  stochastic-swap / A* baselines
      devices    list known coupling maps
-     stats      show circuit statistics and layering info *)
+     stats      show circuit statistics and layering info
+     lint       static analysis of circuits and encodings *)
 
 open Cmdliner
 module Circuit = Qxm_circuit.Circuit
@@ -16,7 +17,14 @@ module Devices = Qxm_arch.Devices
 module Mapper = Qxm_exact.Mapper
 module Strategy = Qxm_exact.Strategy
 module Portfolio = Qxm_exact.Portfolio
+module Encoding = Qxm_exact.Encoding
 module Fault = Qxm_sat.Fault
+module Solver = Qxm_sat.Solver
+module Cnf = Qxm_encode.Cnf
+module Suite = Qxm_benchmarks.Suite
+module Diagnostic = Qxm_lint.Diagnostic
+module Circuit_lint = Qxm_lint.Circuit_lint
+module Cnf_lint = Qxm_lint.Cnf_lint
 
 let device_conv =
   let parse s =
@@ -155,6 +163,111 @@ let portfolio_summary (r : Portfolio.report) =
         s.solves s.outcome)
     r.stages
 
+(* -- lint helpers --------------------------------------------------------- *)
+
+let format_conv = Arg.enum [ ("text", `Text); ("json", `Json) ]
+
+let render_diags ~format out diags =
+  match format with
+  | `Text ->
+      List.iter (fun d -> Printf.fprintf out "%s\n" (Diagnostic.to_string d)) diags
+  | `Json -> Printf.fprintf out "%s\n" (Diagnostic.list_to_json diags)
+
+(* Build the paper's SAT encoding for a circuit with the CNF analyzer
+   attached and return its findings.  Skipped (empty) when the circuit
+   does not fit the device or has no CNOTs — there is nothing to encode. *)
+let lint_encoding ~file ~device circuit =
+  let cnots = Circuit.cnots circuit in
+  if cnots = [] || Circuit.num_qubits circuit > Coupling.num_qubits device
+  then []
+  else begin
+    let solver = Solver.create () in
+    let cnf = Cnf.create solver in
+    let lint = Cnf_lint.attach cnf in
+    let instance =
+      {
+        Encoding.arch = device;
+        num_logical = Circuit.num_qubits circuit;
+        cnots = Array.of_list cnots;
+        spots = Strategy.spots Strategy.Minimal cnots;
+      }
+    in
+    let _built = Encoding.build cnf instance in
+    List.map
+      (fun (d : Diagnostic.t) ->
+        match d.loc with
+        | Some _ -> d
+        | None -> { d with loc = Some { Diagnostic.file; line = 0 } })
+      (Cnf_lint.report lint)
+  end
+
+let lint_cmd =
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"INPUT.qasm" ~doc:"OpenQASM 2.0 files to lint.")
+  in
+  let suite_arg =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"Also lint every reconstructed Table-1 benchmark circuit.")
+  in
+  let encoding_arg =
+    Arg.(
+      value & flag
+      & info [ "encoding" ]
+          ~doc:
+            "Also build the SAT encoding of each linted circuit (files, \
+             and the small-benchmark subset with --suite) with the CNF \
+             analyzer attached, checking clause shapes, duplicate and \
+             tautological clauses, and unconstrained auxiliaries.")
+  in
+  let format_arg =
+    Arg.(
+      value & opt format_conv `Text
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: text (compiler-style lines) or json.")
+  in
+  let run files suite encoding device format =
+    let diags = ref [] in
+    let add ds = diags := !diags @ ds in
+    List.iter
+      (fun path ->
+        let ds, ann = Circuit_lint.lint_qasm_file path in
+        add ds;
+        match ann with
+        | Some ann when encoding ->
+            add (lint_encoding ~file:path ~device ann.Qasm.circuit)
+        | _ -> ())
+      files;
+    if suite then begin
+      List.iter
+        (fun (e : Suite.entry) ->
+          add (Circuit_lint.check ~file:("bench:" ^ e.name) e.circuit))
+        (Suite.all ());
+      if encoding then
+        List.iter
+          (fun (e : Suite.entry) ->
+            add (lint_encoding ~file:("bench:" ^ e.name) ~device e.circuit))
+          (Suite.small ())
+    end;
+    render_diags ~format stdout !diags;
+    let errors = Diagnostic.errors !diags in
+    Printf.eprintf "lint: %d finding(s), %d error(s)\n"
+      (List.length !diags) (List.length errors);
+    if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: lint QASM circuits (and optionally their SAT \
+          encodings) without mapping them.  Exits 1 if any error-severity \
+          finding is reported.")
+    Term.(
+      const run $ files_arg $ suite_arg $ encoding_arg $ device_arg
+      $ format_arg)
+
 let map_cmd =
   let strategy_arg =
     Arg.(
@@ -217,9 +330,54 @@ let map_cmd =
              (unknown, after=N, truncate=N, seed=K:P) to exercise the \
              degradation paths.")
   in
+  let lint_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some `Text) (some format_conv) None
+      & info [ "lint" ] ~docv:"FORMAT"
+          ~doc:
+            "Lint the input before mapping and the mapped result against \
+             the device afterwards (findings on stderr as text or json); \
+             abort with exit 1 on any error-severity finding.")
+  in
+  let sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run every SAT solve with the solver invariant checker \
+             enabled (watched literals, trail, branching heap).  A \
+             violation aborts with an Invariant_violation exception.")
+  in
   let run input device strategy subsets timeout portfolio stage_budget
-      fallback inject output draw =
+      fallback inject lint sanitize output draw =
+    if sanitize then Solver.set_sanitize_all true;
     let circuit = load input in
+    (match lint with
+    | None -> ()
+    | Some format ->
+        let ds, _ = Circuit_lint.lint_qasm_file input in
+        render_diags ~format stderr ds;
+        if Diagnostic.errors ds <> [] then begin
+          Printf.eprintf "lint: input has error-severity findings, not \
+                          mapping\n";
+          exit 1
+        end);
+    let lint_output mapped =
+      match lint with
+      | None -> ()
+      | Some format ->
+          let ds =
+            Circuit_lint.check_mapped ~file:"<mapped>" ~coupling:device
+              mapped
+          in
+          render_diags ~format stderr ds;
+          if Diagnostic.errors ds <> [] then begin
+            Printf.eprintf "lint: mapped circuit violates the coupling \
+                            map\n";
+            exit 1
+          end
+    in
     Option.iter Fault.arm inject;
     if portfolio then begin
       let options =
@@ -235,6 +393,7 @@ let map_cmd =
       | Ok r ->
           portfolio_summary r;
           if draw then Draw.print r.elementary;
+          lint_output r.elementary;
           emit output r.elementary;
           if r.verified = Some false then exit 1
       | Error e ->
@@ -249,6 +408,7 @@ let map_cmd =
       | Ok r ->
           report_summary r;
           if draw then Draw.print r.elementary;
+          lint_output r.elementary;
           emit output r.elementary;
           if r.verified = Some false then exit 1
       | Error e ->
@@ -264,7 +424,7 @@ let map_cmd =
     Term.(
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
-      $ inject_arg $ output_arg $ draw_arg)
+      $ inject_arg $ lint_arg $ sanitize_arg $ output_arg $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =
@@ -364,4 +524,7 @@ let () =
          number of SWAP and H operations (Wille/Burgholzer/Zulehner, DAC \
          2019)."
   in
-  exit (Cmd.eval (Cmd.group info [ map_cmd; heuristic_cmd; devices_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ map_cmd; heuristic_cmd; devices_cmd; stats_cmd; lint_cmd ]))

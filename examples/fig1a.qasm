@@ -1,0 +1,12 @@
+// Fig. 1a of the paper: a 4-qubit circuit whose CNOTs do not fit
+// IBM QX4's coupling map directly.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[1],q[0];
+cx q[2],q[0];
+cx q[3],q[0];
+cx q[1],q[2];
+t q[3];
+cx q[1],q[3];

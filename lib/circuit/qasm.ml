@@ -212,10 +212,18 @@ and parse_atom lx =
 
 type reg = { offset : int; size : int }
 
+(* Statements with their source line, preserved for the lint layer; the
+   plain mapping flow only ever looks at the gates. *)
+type stmt =
+  | Gate_stmt of Gate.t * int
+  | Measure_stmt of int * int
+
+type annotated = { circuit : Circuit.t; stmts : stmt list }
+
 type env = {
   mutable qregs : (string * reg) list;
   mutable total : int;
-  mutable rev_gates : Gate.t list;
+  mutable rev_stmts : stmt list;
 }
 
 (* A qubit argument [name[idx]] resolved to flat indices; a bare register
@@ -284,7 +292,7 @@ let single_of_name line name params =
       fail line "gate %s with %d parameter(s) is not supported" name
         (List.length params)
 
-let emit env g = env.rev_gates <- g :: env.rev_gates
+let emit env line g = env.rev_stmts <- Gate_stmt (g, line) :: env.rev_stmts
 
 let rec zip_broadcast line f args =
   (* QASM broadcasting: all multi-qubit args must have equal length. *)
@@ -348,7 +356,20 @@ and parse_statement lx env =
       expect_punct lx ';';
       true
   | Ident "measure" ->
-      (* measurement is outside the mapping problem; skip to ';' *)
+      (* Measurement is outside the mapping problem, but the lint layer
+         wants to know which qubits were measured (gates after measurement
+         are a diagnostic).  Resolve the quantum argument when it names a
+         known register, then skip the classical target up to ';'. *)
+      advance lx;
+      let line = lx.tok_line in
+      (match lx.tok with
+      | Ident name when List.mem_assoc name env.qregs ->
+          let qs = parse_qarg lx env in
+          List.iter
+            (fun q ->
+              env.rev_stmts <- Measure_stmt (q, line) :: env.rev_stmts)
+            qs
+      | _ -> ());
       let rec skip () =
         match lx.tok with
         | Punct ';' ->
@@ -359,10 +380,10 @@ and parse_statement lx env =
             advance lx;
             skip ()
       in
-      advance lx;
       skip ()
   | Ident "barrier" ->
       advance lx;
+      let line = lx.tok_line in
       let rec args acc =
         let a = parse_qarg lx env in
         match lx.tok with
@@ -373,7 +394,7 @@ and parse_statement lx env =
       in
       let qs = List.concat (args []) in
       expect_punct lx ';';
-      emit env (Gate.Barrier qs);
+      emit env line (Gate.Barrier qs);
       true
   | Ident "cx" | Ident "CX" ->
       advance lx;
@@ -387,7 +408,7 @@ and parse_statement lx env =
           match qs with
           | [ c; t ] ->
               if c = t then fail line "cx with identical qubits";
-              emit env (Gate.Cnot (c, t))
+              emit env line (Gate.Cnot (c, t))
           | _ -> assert false)
         [ a; b ];
       true
@@ -403,7 +424,7 @@ and parse_statement lx env =
           match qs with
           | [ x; y ] ->
               if x = y then fail line "swap with identical qubits";
-              emit env (Gate.Swap (x, y))
+              emit env line (Gate.Swap (x, y))
           | _ -> assert false)
         [ a; b ];
       true
@@ -414,25 +435,36 @@ and parse_statement lx env =
       let kind = single_of_name line name params in
       let a = parse_qarg lx env in
       expect_punct lx ';';
-      List.iter (fun q -> emit env (Gate.Single (kind, q))) a;
+      List.iter (fun q -> emit env line (Gate.Single (kind, q))) a;
       true
   | _ -> fail lx.tok_line "unexpected token"
 
-let parse_string src =
+let parse_annotated src =
   let lx = make_lexer src in
-  let env = { qregs = []; total = 0; rev_gates = [] } in
+  let env = { qregs = []; total = 0; rev_stmts = [] } in
   while parse_statement lx env do
     ()
   done;
-  Circuit.create env.total (List.rev env.rev_gates)
+  let stmts = List.rev env.rev_stmts in
+  let gates =
+    List.filter_map
+      (function Gate_stmt (g, _) -> Some g | Measure_stmt _ -> None)
+      stmts
+  in
+  { circuit = Circuit.create env.total gates; stmts }
 
-let parse_file path =
+let parse_string src = (parse_annotated src).circuit
+
+let read_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let n = in_channel_length ic in
-      parse_string (really_input_string ic n))
+      really_input_string ic n)
+
+let parse_file path = parse_string (read_file path)
+let parse_file_annotated path = parse_annotated (read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)

@@ -15,6 +15,25 @@ val parse_string : string -> Circuit.t
 
 val parse_file : string -> Circuit.t
 
+(** {1 Annotated parsing}
+
+    Statement-level view with source lines, consumed by the lint layer.
+    The plain entry points above are thin wrappers that drop the
+    annotations. *)
+
+type stmt =
+  | Gate_stmt of Gate.t * int  (** gate and the line it was parsed on *)
+  | Measure_stmt of int * int
+      (** measured (flattened) qubit index and source line *)
+
+type annotated = { circuit : Circuit.t; stmts : stmt list }
+
+val parse_annotated : string -> annotated
+(** Like {!parse_string}, additionally retaining per-statement source
+    lines and measurements. @raise Parse_error on malformed input. *)
+
+val parse_file_annotated : string -> annotated
+
 val to_string : ?creg:bool -> Circuit.t -> string
 (** Emit OpenQASM 2.0.  Named gates are emitted with their qelib1 names;
     [U] gates as [u3].  [creg] additionally declares a classical register

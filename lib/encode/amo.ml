@@ -4,55 +4,70 @@ type encoding = Pairwise | Sequential | Commander
 
 let default = Sequential
 
-let pairwise cnf lits =
-  let rec go = function
-    | [] -> ()
-    | l :: rest ->
-        List.iter
-          (fun l' -> Cnf.add cnf [ Lit.negate l; Lit.negate l' ])
-          rest;
-        go rest
-  in
-  go lits
+(* Scope kinds announced to the Cnf tap.  Qxm_lint.Cnf_lint mirrors the
+   clause/auxiliary counts of each encoder from the scope arity, so the
+   bodies below and the linter's expectations must stay in lock-step. *)
+let scope_pairwise = "amo-pairwise"
+let scope_sequential = "amo-sequential"
+let scope_commander = "amo-commander"
+let scope_alo = "alo"
+let scope_eo = "eo"
 
-(* Sinz sequential counter: s_i means "one of lits[0..i] is true". *)
+let pairwise cnf lits =
+  Cnf.in_scope cnf ~kind:scope_pairwise ~arity:(List.length lits) (fun () ->
+      let rec go = function
+        | [] -> ()
+        | l :: rest ->
+            List.iter
+              (fun l' -> Cnf.add cnf [ Lit.negate l; Lit.negate l' ])
+              rest;
+            go rest
+      in
+      go lits)
+
+(* Sinz sequential counter: s_i means "one of lits[0..i] is true".  The 0-
+   and 1-element inputs are vacuously at-most-one and add nothing. *)
 let sequential cnf lits =
-  match lits with
-  | [] | [ _ ] -> ()
-  | first :: rest ->
-      let s = ref first in
-      List.iter
-        (fun l ->
-          let s' = Cnf.fresh cnf in
-          Cnf.add cnf [ Lit.negate !s; s' ];
-          Cnf.add cnf [ Lit.negate l; s' ];
-          Cnf.add cnf [ Lit.negate l; Lit.negate !s ];
-          s := s')
-        rest
+  Cnf.in_scope cnf ~kind:scope_sequential ~arity:(List.length lits)
+    (fun () ->
+      match lits with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let s = ref first in
+          List.iter
+            (fun l ->
+              let s' = Cnf.fresh cnf in
+              Cnf.add cnf [ Lit.negate !s; s' ];
+              Cnf.add cnf [ Lit.negate l; s' ];
+              Cnf.add cnf [ Lit.negate l; Lit.negate !s ];
+              s := s')
+            rest)
 
 (* Commander with group size 3: for each group, pairwise AMO inside plus a
    commander variable equivalent to "some group member is true"; recurse on
    commanders. *)
 let rec commander cnf lits =
-  if List.length lits <= 3 then pairwise cnf lits
-  else begin
-    let rec split = function
-      | a :: b :: c :: rest -> [ a; b; c ] :: split rest
-      | [] -> []
-      | small -> [ small ]
-    in
-    let groups = split lits in
-    let commanders =
-      List.map
-        (fun group ->
-          pairwise cnf group;
-          let c = Cnf.fresh cnf in
-          Cnf.equiv_or cnf c group;
-          c)
-        groups
-    in
-    commander cnf commanders
-  end
+  Cnf.in_scope cnf ~kind:scope_commander ~arity:(List.length lits)
+    (fun () ->
+      if List.length lits <= 3 then pairwise cnf lits
+      else begin
+        let rec split = function
+          | a :: b :: c :: rest -> [ a; b; c ] :: split rest
+          | [] -> []
+          | small -> [ small ]
+        in
+        let groups = split lits in
+        let commanders =
+          List.map
+            (fun group ->
+              pairwise cnf group;
+              let c = Cnf.fresh cnf in
+              Cnf.equiv_or cnf c group;
+              c)
+            groups
+        in
+        commander cnf commanders
+      end)
 
 let at_most_one ?(encoding = default) cnf lits =
   match encoding with
@@ -60,8 +75,13 @@ let at_most_one ?(encoding = default) cnf lits =
   | Sequential -> sequential cnf lits
   | Commander -> commander cnf lits
 
-let at_least_one cnf lits = Cnf.add cnf lits
+let at_least_one cnf lits =
+  Cnf.in_scope cnf ~kind:scope_alo ~arity:(List.length lits) (fun () ->
+      match lits with
+      | [] -> Cnf.add_unsat cnf ~reason:"at-least-one over the empty set"
+      | _ -> Cnf.add cnf lits)
 
 let exactly_one ?(encoding = default) cnf lits =
-  at_least_one cnf lits;
-  at_most_one ~encoding cnf lits
+  Cnf.in_scope cnf ~kind:scope_eo ~arity:(List.length lits) (fun () ->
+      at_least_one cnf lits;
+      at_most_one ~encoding cnf lits)

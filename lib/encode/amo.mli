@@ -4,7 +4,17 @@
     exactly one physical qubit and each physical qubit carries at most one
     logical qubit — a grid of AMO/EO constraints, so their encoding matters.
     Three classic encodings are provided; the ablation bench compares
-    them. *)
+    them.
+
+    Every constraint is emitted inside a {!Cnf.scope} ([amo-pairwise],
+    [amo-sequential], [amo-commander], [alo], [eo]) so the lint layer can
+    check the produced clauses against the expected shape.
+
+    Degenerate sizes are handled explicitly: at-most-one over zero or one
+    literal adds no clauses; at-least-one (and hence exactly-one) over the
+    empty list makes the instance unsatisfiable through
+    {!Cnf.add_unsat} — a flagged, intentional contradiction rather than a
+    silent empty clause. *)
 
 type encoding =
   | Pairwise  (** O(n²) binary clauses, zero auxiliary variables. *)
@@ -20,7 +30,8 @@ val at_most_one :
   ?encoding:encoding -> Cnf.t -> Qxm_sat.Lit.t list -> unit
 
 val at_least_one : Cnf.t -> Qxm_sat.Lit.t list -> unit
-(** A single clause. The empty list makes the instance unsatisfiable. *)
+(** A single clause.  The empty list makes the instance unsatisfiable
+    (explicitly, via {!Cnf.add_unsat}). *)
 
 val exactly_one :
   ?encoding:encoding -> Cnf.t -> Qxm_sat.Lit.t list -> unit

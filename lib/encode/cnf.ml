@@ -1,20 +1,65 @@
 module Solver = Qxm_sat.Solver
 module Lit = Qxm_sat.Lit
 
+type scope = { kind : string; arity : int }
+
+type event =
+  | Ev_fresh of int
+  | Ev_clause of Lit.t list
+  | Ev_unsat of string
+  | Ev_scope_open of scope
+  | Ev_scope_close of scope
+
 type t = {
   solver : Solver.t;
   mutable const_true : Lit.t option;
   mutable num_aux : int;
+  mutable empty_clauses : int;
+  mutable tap : (event -> unit) option;
 }
 
-let create solver = { solver; const_true = None; num_aux = 0 }
+let create solver =
+  {
+    solver;
+    const_true = None;
+    num_aux = 0;
+    empty_clauses = 0;
+    tap = None;
+  }
+
 let solver t = t.solver
+let set_tap t tap = t.tap <- tap
+let emit t ev = match t.tap with None -> () | Some f -> f ev
+
+let in_scope t ~kind ~arity f =
+  let scope = { kind; arity } in
+  emit t (Ev_scope_open scope);
+  Fun.protect ~finally:(fun () -> emit t (Ev_scope_close scope)) f
 
 let fresh t =
   t.num_aux <- t.num_aux + 1;
-  Lit.pos (Solver.new_var t.solver)
+  let v = Solver.new_var t.solver in
+  emit t (Ev_fresh v);
+  Lit.pos v
 
-let add t clause = Solver.add_clause t.solver clause
+let add t clause =
+  emit t (Ev_clause clause);
+  (* Normalize before the solver sees anything: duplicate literals are
+     dropped here, and the empty clause — almost always an encoder bug —
+     is counted and flagged through the tap instead of slipping through
+     as a silent level-0 contradiction.  Intentional unsatisfiability
+     goes through {!add_unsat}. *)
+  match List.sort_uniq Lit.compare clause with
+  | [] ->
+      t.empty_clauses <- t.empty_clauses + 1;
+      Solver.add_clause t.solver []
+  | normalized -> Solver.add_clause t.solver normalized
+
+let add_unsat t ~reason =
+  emit t (Ev_unsat reason);
+  Solver.add_clause t.solver []
+
+let empty_clauses t = t.empty_clauses
 
 let true_ t =
   match t.const_true with

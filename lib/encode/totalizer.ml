@@ -31,20 +31,23 @@ let merge cnf p q =
   r
 
 let build cnf lits =
-  let rec go = function
-    | [] -> [||]
-    | [ l ] -> [| l |]
-    | ls ->
-        let n = List.length ls in
-        let rec split i acc = function
-          | rest when i = 0 -> (List.rev acc, rest)
-          | x :: rest -> split (i - 1) (x :: acc) rest
-          | [] -> (List.rev acc, [])
-        in
-        let left, right = split (n / 2) [] ls in
-        merge cnf (go left) (go right)
-  in
-  { outputs = go lits }
+  (* The whole tree is one scope; Qxm_lint.Cnf_lint mirrors the recursion
+     below from the arity to predict clause sizes and auxiliary count. *)
+  Cnf.in_scope cnf ~kind:"totalizer" ~arity:(List.length lits) (fun () ->
+      let rec go = function
+        | [] -> [||]
+        | [ l ] -> [| l |]
+        | ls ->
+            let n = List.length ls in
+            let rec split i acc = function
+              | rest when i = 0 -> (List.rev acc, rest)
+              | x :: rest -> split (i - 1) (x :: acc) rest
+              | [] -> (List.rev acc, [])
+            in
+            let left, right = split (n / 2) [] ls in
+            merge cnf (go left) (go right)
+      in
+      { outputs = go lits })
 
 let size t = Array.length t.outputs
 
@@ -58,7 +61,10 @@ let at_most cnf t k =
   if k < size t then Cnf.add cnf [ Lit.negate t.outputs.(k) ]
 
 let at_least cnf t k =
-  if k > size t then Cnf.add cnf [] (* unsatisfiable on purpose *)
+  if k > size t then
+    (* unsatisfiable on purpose: a sum of [size t] inputs cannot reach k *)
+    Cnf.add_unsat cnf
+      ~reason:(Printf.sprintf "at-least %d over %d inputs" k (size t))
   else if k > 0 then Cnf.add cnf [ t.outputs.(k - 1) ]
 
 let assume_at_most t k =

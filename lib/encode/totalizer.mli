@@ -9,6 +9,10 @@
 type t
 
 val build : Cnf.t -> Qxm_sat.Lit.t list -> t
+(** Build the counter tree.  The whole construction is emitted inside a
+    [totalizer] {!Cnf.scope} for the lint layer.  Degenerate inputs are
+    explicit: the empty list yields a zero-output counter and adds no
+    clauses; a single literal is its own counter. *)
 
 val size : t -> int
 (** Number of inputs. *)
@@ -22,7 +26,7 @@ val at_most : Cnf.t -> t -> int -> unit
 
 val at_least : Cnf.t -> t -> int -> unit
 (** Permanently constrain the sum to at least [k]. Unsatisfiable if
-    [k > size]. *)
+    [k > size] (explicitly, via {!Cnf.add_unsat}). *)
 
 val assume_at_most : t -> int -> Qxm_sat.Lit.t list
 (** Assumption literals enforcing sum <= k for a single solve. *)

@@ -1,0 +1,145 @@
+module Gate = Qxm_circuit.Gate
+module Circuit = Qxm_circuit.Circuit
+module Qasm = Qxm_circuit.Qasm
+module Coupling = Qxm_arch.Coupling
+
+let dloc file line =
+  match (file, line) with
+  | Some file, Some line -> Some { Diagnostic.file; line }
+  | _ -> None
+
+(* Per-gate structural checks; [line] is the QASM source line when known. *)
+let gate_diags ?file ?line ~num_qubits g =
+  let loc = dloc file line in
+  let out = ref [] in
+  let push ~code ~severity fmt =
+    Format.kasprintf
+      (fun m -> out := Diagnostic.make ?loc ~code ~severity m :: !out)
+      fmt
+  in
+  (match g with
+  | Gate.Cnot (c, t) when c = t ->
+      push ~code:"QL-Q001" ~severity:Diagnostic.Error
+        "cx with identical control and target (qubit %d)" c
+  | Gate.Swap (a, b) when a = b ->
+      push ~code:"QL-Q001" ~severity:Diagnostic.Error
+        "swap with identical operands (qubit %d)" a
+  | Gate.Barrier qs when List.length qs < 2 ->
+      push ~code:"QL-Q007" ~severity:Diagnostic.Warning
+        "barrier over %d qubit(s) separates nothing" (List.length qs)
+  | _ -> ());
+  List.iter
+    (fun q ->
+      if q < 0 || q >= num_qubits then
+        push ~code:"QL-Q002" ~severity:Diagnostic.Error
+          "qubit index %d outside the declared range [0, %d)" q num_qubits)
+    (Gate.qubits g);
+  List.rev !out
+
+let unused_diags ?file ~num_qubits gates =
+  let used = Array.make (max num_qubits 1) false in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun q -> if q >= 0 && q < num_qubits then used.(q) <- true)
+        (Gate.qubits g))
+    gates;
+  let idle = ref [] in
+  for q = num_qubits - 1 downto 0 do
+    if not used.(q) then idle := q :: !idle
+  done;
+  match !idle with
+  | [] -> []
+  | qs ->
+      [
+        Diagnostic.makef
+          ?loc:(dloc file None)
+          ~code:"QL-Q003" ~severity:Diagnostic.Warning
+          "%d declared qubit(s) never used: %s" (List.length qs)
+          (String.concat ", " (List.map string_of_int qs));
+      ]
+
+let check_gates ?file ~num_qubits gates =
+  List.concat_map (gate_diags ?file ~num_qubits) gates
+  @ unused_diags ?file ~num_qubits gates
+
+let check ?file circuit =
+  check_gates ?file
+    ~num_qubits:(Circuit.num_qubits circuit)
+    (Circuit.gates circuit)
+
+let check_annotated ?file (ann : Qasm.annotated) =
+  let num_qubits = Circuit.num_qubits ann.circuit in
+  let measured = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Qasm.Measure_stmt (q, line) -> Hashtbl.replace measured q line
+      | Qasm.Gate_stmt (g, line) ->
+          out := List.rev_append (gate_diags ?file ~line ~num_qubits g) !out;
+          List.iter
+            (fun q ->
+              match Hashtbl.find_opt measured q with
+              | Some mline ->
+                  out :=
+                    Diagnostic.makef
+                      ?loc:(dloc file (Some line))
+                      ~code:"QL-Q004" ~severity:Diagnostic.Error
+                      "gate on qubit %d after its measurement on line %d \
+                       (measurements are dropped by the mapping flow, so \
+                       this gate would silently change meaning)"
+                      q mline
+                    :: !out
+              | None -> ())
+            (Gate.qubits g))
+    ann.stmts;
+  List.rev !out @ unused_diags ?file ~num_qubits (Circuit.gates ann.circuit)
+
+let check_mapped ?file ~coupling circuit =
+  let m = Coupling.num_qubits coupling in
+  let loc = dloc file None in
+  let out = ref [] in
+  let push ~code ~severity fmt =
+    Format.kasprintf
+      (fun msg -> out := Diagnostic.make ?loc ~code ~severity msg :: !out)
+      fmt
+  in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun q ->
+          if q < 0 || q >= m then
+            push ~code:"QL-Q002" ~severity:Diagnostic.Error
+              "qubit index %d outside the device's %d physical qubits" q m)
+        (Gate.qubits g);
+      match g with
+      | Gate.Cnot (c, t) when c >= 0 && c < m && t >= 0 && t < m ->
+          if not (Coupling.allows coupling c t) then
+            if Coupling.allows coupling t c then
+              push ~code:"QL-Q006" ~severity:Diagnostic.Warning
+                "cx %d,%d runs against the coupling direction (needs 4 \
+                 Hadamards)"
+                c t
+            else
+              push ~code:"QL-Q006" ~severity:Diagnostic.Error
+                "cx %d,%d between uncoupled physical qubits" c t
+      | Gate.Swap (a, b) when a >= 0 && a < m && b >= 0 && b < m ->
+          if not (Coupling.coupled coupling a b) then
+            push ~code:"QL-Q005" ~severity:Diagnostic.Error
+              "swap %d,%d between uncoupled physical qubits" a b
+      | _ -> ())
+    (Circuit.gates circuit);
+  List.rev !out
+
+let lint_qasm_file path =
+  match Qasm.parse_file_annotated path with
+  | ann -> (check_annotated ~file:path ann, Some ann)
+  | exception Qasm.Parse_error { line; message } ->
+      ( [
+          Diagnostic.makef
+            ~loc:{ Diagnostic.file = path; line }
+            ~code:"QL-Q008" ~severity:Diagnostic.Error "parse error: %s"
+            message;
+        ],
+        None )

@@ -1,0 +1,49 @@
+(** Static analysis of quantum circuits and QASM netlists.
+
+    Works at three levels: raw gate lists (programmatic construction, where
+    nothing has been validated yet), parsed circuits, and line-annotated
+    QASM programs (where diagnostics carry source positions).  A separate
+    entry point checks a {e mapped} circuit against a coupling map.
+
+    Diagnostics (see [doc/LINT.md]):
+    - [QL-Q001] (error) two-qubit gate with identical operands
+    - [QL-Q002] (error) qubit index out of range
+    - [QL-Q003] (warning) declared qubit never used
+    - [QL-Q004] (error) gate applied to an already-measured qubit
+    - [QL-Q005] (error) SWAP between uncoupled physical qubits
+    - [QL-Q006] (error/warning) CNOT not native to the coupling map
+      (error when the pair is entirely uncoupled, warning when only the
+      reverse direction exists and 4 Hadamards would be needed)
+    - [QL-Q007] (warning) degenerate barrier (fewer than two qubits)
+    - [QL-Q008] (error) QASM parse failure *)
+
+val check_gates :
+  ?file:string -> num_qubits:int -> Qxm_circuit.Gate.t list -> Diagnostic.t list
+(** Per-gate checks (QL-Q001, QL-Q002, QL-Q007) plus unused-qubit
+    detection (QL-Q003) over a raw gate list. *)
+
+val check : ?file:string -> Qxm_circuit.Circuit.t -> Diagnostic.t list
+(** {!check_gates} over a built circuit.  [Circuit.create] already
+    enforces index ranges, so QL-Q002 cannot fire here; the rest can. *)
+
+val check_annotated :
+  ?file:string -> Qxm_circuit.Qasm.annotated -> Diagnostic.t list
+(** Like {!check}, with per-statement source lines and measurement
+    tracking: a gate touching a qubit that was already measured is
+    QL-Q004 (the mapping flow drops measurements, so such a gate would
+    silently change meaning). *)
+
+val check_mapped :
+  ?file:string ->
+  coupling:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  Diagnostic.t list
+(** Validate a mapped circuit against a coupling map: every CNOT must run
+    along an existing edge (QL-Q006 — warning if only the reversed
+    direction exists, error if the qubits are not coupled at all) and
+    every SWAP must join coupled qubits (QL-Q005).  Qubit indices must fit
+    the device (QL-Q002). *)
+
+val lint_qasm_file : string -> Diagnostic.t list * Qxm_circuit.Qasm.annotated option
+(** Parse and lint one QASM file.  A parse failure yields a single
+    QL-Q008 error (with the source line) and no annotated program. *)

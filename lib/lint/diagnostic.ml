@@ -1,0 +1,82 @@
+type severity = Error | Warning | Info
+
+type loc = { file : string; line : int }
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : loc option;
+  message : string;
+}
+
+let make ?loc ~code ~severity message = { code; severity; loc; message }
+
+let makef ?loc ~code ~severity fmt =
+  Format.kasprintf (fun message -> make ?loc ~code ~severity message) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity a b =
+  match compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> compare a.code b.code
+  | c -> c
+
+let to_string d =
+  let prefix =
+    match d.loc with
+    | Some { file; line } -> Printf.sprintf "%s:%d: " file line
+    | None -> ""
+  in
+  Printf.sprintf "%s%s %s: %s" prefix (severity_name d.severity) d.code
+    d.message
+
+(* RFC 8259 string escaping: the two mandatory characters plus control
+   characters as \u escapes. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let fields =
+    [
+      Printf.sprintf "\"code\":\"%s\"" (json_escape d.code);
+      Printf.sprintf "\"severity\":\"%s\"" (severity_name d.severity);
+    ]
+    @ (match d.loc with
+      | Some { file; line } ->
+          [
+            Printf.sprintf "\"file\":\"%s\"" (json_escape file);
+            Printf.sprintf "\"line\":%d" line;
+          ]
+      | None -> [])
+    @ [ Printf.sprintf "\"message\":\"%s\"" (json_escape d.message) ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let list_to_json ds =
+  match ds with
+  | [] -> "[]"
+  | _ ->
+      "[\n" ^ String.concat ",\n" (List.map to_json ds) ^ "\n]"
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

@@ -1,0 +1,13 @@
+let code_of_area = function
+  | "watch" -> "QL-S001"
+  | "trail" -> "QL-S002"
+  | "heap" -> "QL-S003"
+  | _ -> "QL-S000"
+
+let check solver =
+  List.map
+    (fun (area, message) ->
+      Diagnostic.makef
+        ~code:(code_of_area area)
+        ~severity:Diagnostic.Error "solver %s invariant: %s" area message)
+    (Qxm_sat.Solver.check_invariants solver)

@@ -1,0 +1,16 @@
+(** Diagnostic wrapper over the solver's invariant sanitizer.
+
+    {!Qxm_sat.Solver.check_invariants} reports raw (area, message) pairs;
+    this module turns them into {!Diagnostic.t} values with the stable
+    codes the rest of the lint layer uses (see [doc/LINT.md]):
+    - [QL-S001] (error) two-watched-literal bookkeeping broken
+    - [QL-S002] (error) trail / decision-level inconsistency
+    - [QL-S003] (error) VSIDS heap malformed *)
+
+val check : Qxm_sat.Solver.t -> Diagnostic.t list
+(** Audit a solver right now.  Empty means every audited invariant
+    holds. *)
+
+val code_of_area : string -> string
+(** ["watch"] ↦ ["QL-S001"], ["trail"] ↦ ["QL-S002"], ["heap"] ↦
+    ["QL-S003"]; unknown areas map to ["QL-S000"]. *)

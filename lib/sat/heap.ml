@@ -73,3 +73,37 @@ let pop t act =
 
 let decrease t v act =
   if in_heap t v then percolate_up t act (Vec.Int.get t.index v)
+
+let members t = Vec.Int.to_list t.heap
+
+let check t act =
+  let issues = ref [] in
+  let issue fmt =
+    Printf.ksprintf (fun m -> issues := m :: !issues) fmt
+  in
+  let n = size t in
+  for i = 0 to n - 1 do
+    let v = Vec.Int.get t.heap i in
+    if v < 0 || v >= Vec.Int.size t.index then
+      issue "heap slot %d holds out-of-range variable %d" i v
+    else if Vec.Int.get t.index v <> i then
+      issue "heap slot %d holds variable %d whose index entry is %d" i v
+        (Vec.Int.get t.index v);
+    if v >= 0 && v < Array.length act && i > 0 then begin
+      let p = Vec.Int.get t.heap (parent i) in
+      if p >= 0 && p < Array.length act && act.(p) < act.(v) then
+        issue
+          "heap order violated: parent variable %d (%.3g) below child %d \
+           (%.3g)"
+          p act.(p) v act.(v)
+    end
+  done;
+  for v = 0 to Vec.Int.size t.index - 1 do
+    let i = Vec.Int.get t.index v in
+    if i >= 0 && (i >= n || Vec.Int.get t.heap i <> v) then
+      issue "index entry for variable %d points at slot %d, which holds %s"
+        v i
+        (if i >= n then "nothing"
+         else string_of_int (Vec.Int.get t.heap i))
+  done;
+  List.rev !issues

@@ -27,3 +27,13 @@ val decrease : t -> int -> float array -> unit
 
 val grow : t -> int -> unit
 (** Make room for variables up to index [n-1]. *)
+
+val members : t -> int list
+(** The variables currently in the heap, in internal (array) order —
+    position 0 is the root.  Read-only introspection for the sanitizer. *)
+
+val check : t -> float array -> string list
+(** Well-formedness audit against the given activity array: the heap/index
+    arrays must be mutually consistent and every parent's activity must
+    dominate its children's.  Returns human-readable violations, empty
+    when the heap is sound.  Used by {!Solver.check_invariants}. *)

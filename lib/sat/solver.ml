@@ -54,6 +54,7 @@ type t = {
   mutable logging : bool;
   mutable proof_inputs : Lit.t array list; (* reversed *)
   mutable proof_steps : Proof.step list; (* reversed *)
+  mutable sanitize : bool;
 }
 
 let var_decay = 1.0 /. 0.95
@@ -93,7 +94,15 @@ let create () =
     logging = false;
     proof_inputs = [];
     proof_steps = [];
+    sanitize = false;
   }
+
+let sanitize_all = ref false
+let set_sanitize_all b = sanitize_all := b
+let set_sanitize s b = s.sanitize <- b
+let sanitizing s = s.sanitize || !sanitize_all
+
+exception Invariant_violation of string
 
 let set_random_seed s seed = s.rng <- Random.State.make [| seed |]
 
@@ -543,6 +552,118 @@ let pick_branch_var s =
   done;
   !v
 
+(* -- invariant sanitizer -------------------------------------------------- *)
+
+(* Audit the solver's core data-structure invariants: trail/level
+   consistency, two-watched-literal bookkeeping, and VSIDS heap
+   well-formedness.  Pure inspection — never mutates, safe to call at any
+   decision level.  Returns (area, message) pairs where area is one of
+   "trail", "watch", "heap". *)
+let check_invariants s =
+  let issues = ref [] in
+  let issue area fmt =
+    Printf.ksprintf (fun m -> issues := (area, m) :: !issues) fmt
+  in
+  (* trail and decision levels *)
+  let tn = Vec.Int.size s.trail in
+  if s.qhead < 0 || s.qhead > tn then
+    issue "trail" "propagation head %d outside trail of size %d" s.qhead tn;
+  let nlim = Vec.Int.size s.trail_lim in
+  let prev = ref 0 in
+  for k = 0 to nlim - 1 do
+    let b = Vec.Int.get s.trail_lim k in
+    if b < !prev || b > tn then
+      issue "trail" "decision boundary %d of level %d is not monotone" b
+        (k + 1);
+    prev := max !prev b
+  done;
+  let on_trail = Bytes.make (max s.nvars 1) '\000' in
+  let lim_idx = ref 0 in
+  for i = 0 to tn - 1 do
+    while !lim_idx < nlim && Vec.Int.get s.trail_lim !lim_idx <= i do
+      incr lim_idx
+    done;
+    let l = Vec.Int.get s.trail i in
+    let v = Lit.var l in
+    if v < 0 || v >= s.nvars then
+      issue "trail" "trail slot %d holds a literal on unallocated variable"
+        i
+    else begin
+      if Bytes.get on_trail v = '\001' then
+        issue "trail" "variable %d appears twice on the trail" v;
+      Bytes.set on_trail v '\001';
+      if lit_value s l <> 1 then
+        issue "trail" "trail literal %d is not assigned true" (Lit.to_int l);
+      if s.level.(v) <> !lim_idx then
+        issue "trail"
+          "variable %d recorded at level %d but sits in trail segment %d" v
+          s.level.(v) !lim_idx
+    end
+  done;
+  for v = 0 to s.nvars - 1 do
+    if var_value s v <> 0 && Bytes.get on_trail v <> '\001' then
+      issue "trail" "variable %d is assigned but absent from the trail" v
+  done;
+  (* two-watched-literal bookkeeping *)
+  let watcher_total = ref 0 in
+  Array.iteri
+    (fun l ws ->
+      Vec.Poly.iter
+        (fun w ->
+          if not w.wclause.deleted then begin
+            incr watcher_total;
+            let c = w.wclause in
+            if Array.length c.lits < 2 then
+              issue "watch" "watched clause with fewer than 2 literals"
+            else begin
+              let fl = Lit.negate l in
+              if c.lits.(0) <> fl && c.lits.(1) <> fl then
+                issue "watch"
+                  "watch list of literal %d references a clause that does \
+                   not watch it"
+                  (Lit.to_int l)
+            end
+          end)
+        ws)
+    s.watches;
+  let live = ref 0 in
+  let count_db db =
+    Vec.Poly.iter
+      (fun c ->
+        if not c.deleted then begin
+          if Array.length c.lits < 2 then
+            issue "watch" "stored clause with fewer than 2 literals";
+          incr live
+        end)
+      db
+  in
+  count_db s.clauses;
+  count_db s.learnts;
+  if !watcher_total <> 2 * !live then
+    issue "watch" "%d live watchers for %d live clauses (expected %d)"
+      !watcher_total !live (2 * !live);
+  (* VSIDS heap *)
+  List.iter
+    (fun m -> issues := ("heap", m) :: !issues)
+    (Heap.check s.order s.activity);
+  if decision_level s = 0 then
+    for v = 0 to s.nvars - 1 do
+      if var_value s v = 0 && not (Heap.in_heap s.order v) then
+        issue "heap" "unassigned variable %d missing from the branching heap"
+          v
+    done;
+  List.rev !issues
+
+let sanitize_check s =
+  if sanitizing s then
+    match check_invariants s with
+    | [] -> ()
+    | issues ->
+        raise
+          (Invariant_violation
+             (String.concat "; "
+                (List.map (fun (a, m) -> a ^ ": " ^ m) issues)))
+
 (* -- search -------------------------------------------------------------- *)
 
 let luby y x =
@@ -673,6 +794,7 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
           invalid_arg "Solver.solve: assumption on unallocated variable")
       s.assumptions;
     cancel_until s 0;
+    sanitize_check s;
     (match propagate s with
     | Some _ ->
         s.ok <- false;
@@ -703,6 +825,7 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
         incr restarts
       done;
       cancel_until s 0;
+      sanitize_check s;
       !result
     end
   end
@@ -718,3 +841,44 @@ let model s =
   Array.copy s.model
 
 let unsat_core s = s.conflict_core
+
+(* -- seeded corruption for the lint test suite ---------------------------- *)
+
+module Testing = struct
+  (* Each corruption breaks exactly one invariant audited by
+     [check_invariants]; returns false when the solver is too small to
+     corrupt.  For the sanitizer's mutation tests only. *)
+
+  let corrupt_watch s =
+    let found = ref false in
+    Array.iter
+      (fun ws ->
+        if (not !found) && Vec.Poly.size ws > 0 then begin
+          Vec.Poly.shrink ws (Vec.Poly.size ws - 1);
+          found := true
+        end)
+      s.watches;
+    !found
+
+  let corrupt_trail s =
+    if Vec.Int.size s.trail > 0 then begin
+      Vec.Int.push s.trail (Vec.Int.get s.trail 0);
+      true
+    end
+    else if s.nvars > 0 then begin
+      Vec.Int.push s.trail (Lit.pos 0);
+      true
+    end
+    else false
+
+  let corrupt_heap s =
+    if Heap.size s.order >= 2 then begin
+      match List.rev (Heap.members s.order) with
+      | v :: _ ->
+          (* inflate a leaf's activity without percolating it up *)
+          s.activity.(v) <- s.activity.(v) +. 1.0e9;
+          true
+      | [] -> false
+    end
+    else false
+end

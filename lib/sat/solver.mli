@@ -83,3 +83,44 @@ val proof : t -> Proof.t option
 (** The trace so far ([None] unless logging was enabled).  Checkable with
     {!Proof.check} once a solve returned [Unsat] without assumptions —
     assumption-based UNSAT answers do not end in the empty clause. *)
+
+(** {1 Invariant sanitizer}
+
+    An optional runtime audit of the solver's core data structures, used by
+    the lint layer ([qxmap --sanitize]) and the test suite.  When enabled,
+    every {!solve} call checks the invariants on entry and exit and raises
+    {!Invariant_violation} if any are broken. *)
+
+exception Invariant_violation of string
+(** Raised by a sanitized {!solve} when {!check_invariants} reports
+    issues; the payload concatenates all findings. *)
+
+val set_sanitize_all : bool -> unit
+(** Globally enable/disable sanitization for every solver instance
+    (the [--sanitize] CLI flag and the test suite use this). *)
+
+val set_sanitize : t -> bool -> unit
+(** Enable/disable sanitization for one solver instance. *)
+
+val check_invariants : t -> (string * string) list
+(** Audit the solver right now, at any decision level, without mutating it.
+    Returns [(area, message)] pairs with [area] one of ["trail"] (trail and
+    decision-level consistency), ["watch"] (two-watched-literal
+    bookkeeping) or ["heap"] (VSIDS heap well-formedness).  Empty means
+    every audited invariant holds. *)
+
+(** Seeded-corruption hooks for the sanitizer's mutation tests.  Each call
+    deliberately breaks one invariant family so tests can prove
+    {!check_invariants} detects it; returns [false] when the solver is too
+    small to corrupt.  Never use outside tests. *)
+module Testing : sig
+  val corrupt_watch : t -> bool
+  (** Drop one entry from a non-empty watch list. *)
+
+  val corrupt_trail : t -> bool
+  (** Push a duplicate (or unassigned) literal onto the trail. *)
+
+  val corrupt_heap : t -> bool
+  (** Inflate a leaf variable's activity without restoring heap order
+      (needs at least two heap members). *)
+end

@@ -15,4 +15,5 @@ let () =
       ("proof", Test_proof.suite);
       ("costmodel", Test_costmodel.suite);
       ("robustness", Test_robustness.suite);
+      ("lint", Test_lint.suite);
     ]

@@ -129,6 +129,75 @@ let amo_blocks_pairs encoding =
       Solver.solve ~assumptions:[ l0; l1 ] s = Solver.Unsat
       && Solver.solve ~assumptions:[ l0 ] s = Solver.Sat)
 
+(* -- degenerate sizes -------------------------------------------------- *)
+
+let test_amo_degenerate () =
+  List.iter
+    (fun encoding ->
+      let s = Solver.create () in
+      let cnf = Cnf.create s in
+      Amo.at_most_one ~encoding cnf [];
+      let l = Cnf.fresh cnf in
+      Amo.at_most_one ~encoding cnf [ l ];
+      Alcotest.(check int) "no clauses for 0/1 inputs" 0 (Solver.nclauses s);
+      Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat))
+    [ Amo.Pairwise; Amo.Sequential; Amo.Commander ]
+
+let test_exactly_one_degenerate () =
+  (* exactly-one over nothing is a contradiction — but a declared one,
+     not a stray empty clause *)
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  Amo.exactly_one cnf [];
+  Alcotest.(check bool) "eo [] unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check int) "declared, not flagged" 0 (Cnf.empty_clauses cnf);
+  (* over a single literal it just forces it *)
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let l = Cnf.fresh cnf in
+  Amo.exactly_one cnf [ l ];
+  Alcotest.(check bool) "eo [l] sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "l forced" true (Solver.value s l)
+
+let test_totalizer_degenerate () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let t0 = Totalizer.build cnf [] in
+  Alcotest.(check int) "size 0" 0 (Totalizer.size t0);
+  Alcotest.(check int) "no clauses" 0 (Solver.nclauses s);
+  let l = Cnf.fresh cnf in
+  let t1 = Totalizer.build cnf [ l ] in
+  Alcotest.(check int) "size 1" 1 (Totalizer.size t1);
+  Alcotest.(check bool) "output is the input" true
+    (Lit.equal (Totalizer.output t1 0) l);
+  Totalizer.at_most cnf t1 1;
+  Totalizer.at_least cnf t1 1;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "l forced" true (Solver.value s l)
+
+let test_totalizer_at_least_overflow () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let lits = List.init 2 (fun _ -> Cnf.fresh cnf) in
+  let tot = Totalizer.build cnf lits in
+  Totalizer.at_least cnf tot 3;
+  Alcotest.(check bool) "k > size unsat" true
+    (Solver.solve s = Solver.Unsat);
+  Alcotest.(check int) "declared via add_unsat" 0 (Cnf.empty_clauses cnf)
+
+let test_cnf_add_normalizes () =
+  let s = Solver.create () in
+  let cnf = Cnf.create s in
+  let a = Cnf.fresh cnf in
+  Cnf.add cnf [ a; a; a ];
+  Alcotest.(check bool) "duplicates collapse" true
+    (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a forced" true (Solver.value s a);
+  Cnf.add cnf [];
+  Alcotest.(check int) "empty clause flagged" 1 (Cnf.empty_clauses cnf);
+  Alcotest.(check bool) "and still unsatisfiable" true
+    (Solver.solve s = Solver.Unsat)
+
 (* -- Totalizer --------------------------------------------------------- *)
 
 let totalizer_outputs_match_sum =
@@ -280,6 +349,12 @@ let suite =
     amo_blocks_pairs Amo.Pairwise;
     amo_blocks_pairs Amo.Sequential;
     amo_blocks_pairs Amo.Commander;
+    ("amo degenerate sizes", `Quick, test_amo_degenerate);
+    ("exactly-one degenerate sizes", `Quick, test_exactly_one_degenerate);
+    ("totalizer degenerate sizes", `Quick, test_totalizer_degenerate);
+    ("totalizer at_least overflow", `Quick,
+     test_totalizer_at_least_overflow);
+    ("cnf add normalizes", `Quick, test_cnf_add_normalizes);
     totalizer_outputs_match_sum;
     totalizer_at_most_counts;
     ("totalizer at_least", `Quick, test_totalizer_at_least);

@@ -327,6 +327,29 @@ let test_portfolio_degrades_on_full_suite () =
                 Portfolio.pp_failure f)
         (Suite.all ()))
 
+(* -- sanitized Table-1 sweep --------------------------------------------- *)
+
+(* Real mapping workloads with the solver invariant checker armed: every
+   solve audits the trail, watch lists and branching heap.  A violation
+   raises Invariant_violation, which would fail the test; Ok and Timeout
+   are both acceptable answers under the tight budget. *)
+let test_sanitized_mapping_sweep () =
+  Solver.set_sanitize_all true;
+  Fun.protect
+    ~finally:(fun () -> Solver.set_sanitize_all false)
+    (fun () ->
+      List.iter
+        (fun (e : Suite.entry) ->
+          let options = { Mapper.default with timeout = Some 1.0 } in
+          match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
+          | Ok _ | Error Mapper.Timeout -> ()
+          | Error f ->
+              Alcotest.failf "%s: mapping failed: %a" e.name
+                Mapper.pp_failure f
+          | exception Solver.Invariant_violation msg ->
+              Alcotest.failf "%s: solver invariant broken: %s" e.name msg)
+        (Suite.small ()))
+
 let suite =
   [
     ("malformed QASM corpus", `Quick, test_qasm_corpus);
@@ -358,4 +381,5 @@ let suite =
     ("portfolio: too many logical", `Quick, test_portfolio_too_many_logical);
     ("portfolio: full-suite degradation sweep", `Slow,
      test_portfolio_degrades_on_full_suite);
+    ("sanitized mapping sweep", `Quick, test_sanitized_mapping_sweep);
   ]

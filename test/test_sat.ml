@@ -227,6 +227,61 @@ let incremental_assumptions_sound =
       | Solver.Unsat -> not expected
       | Solver.Unknown -> false)
 
+(* -- sanitized solving ------------------------------------------------ *)
+
+let with_sanitize f =
+  Solver.set_sanitize_all true;
+  Fun.protect ~finally:(fun () -> Solver.set_sanitize_all false) f
+
+(* Small DIMACS corpus with known answers, solved under the invariant
+   sanitizer: every solve audits the trail, watch lists and heap on entry
+   and exit, and we re-audit explicitly afterwards. *)
+let dimacs_corpus =
+  [
+    ("unit chain", "p cnf 3 3\n1 0\n-1 2 0\n-2 3 0\n", true);
+    ("contradiction", "p cnf 1 2\n1 0\n-1 0\n", false);
+    ("2-sat cycle", "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n", false);
+    ( "php 3 pigeons 2 holes",
+      "p cnf 6 9\n1 2 0\n3 4 0\n5 6 0\n-1 -3 0\n-1 -5 0\n-3 -5 0\n-2 -4 \
+       0\n-2 -6 0\n-4 -6 0\n",
+      false );
+    ( "satisfiable 3-cnf",
+      "p cnf 5 6\n1 -2 3 0\n-1 2 0\n2 -3 4 0\n-4 5 0\n-2 -5 0\n1 3 5 0\n",
+      true );
+  ]
+
+let test_sanitized_dimacs_corpus () =
+  with_sanitize (fun () ->
+      List.iter
+        (fun (name, text, expected_sat) ->
+          let p = Dimacs.parse_string text in
+          let s = Solver.create () in
+          Dimacs.load s p;
+          Alcotest.(check bool) name expected_sat (Solver.solve s = Solver.Sat);
+          Alcotest.(check int)
+            (name ^ ": invariants clean")
+            0
+            (List.length (Solver.check_invariants s)))
+        dimacs_corpus)
+
+let test_sanitized_pigeonhole () =
+  (* deep search: conflicts, learnt clauses and DB reductions all happen
+     with the sanitizer armed *)
+  with_sanitize (fun () -> test_pigeonhole 5 ())
+
+let sanitized_solver_agrees_with_brute_force =
+  qtest ~count:150 "sanitized solver agrees with brute force"
+    (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:3)
+    (fun (nvars, clauses) ->
+      with_sanitize (fun () ->
+          let s = solver_with nvars in
+          List.iter (Solver.add_clause s) clauses;
+          let expected = brute_sat nvars clauses in
+          match Solver.solve s with
+          | Solver.Sat -> expected && model_satisfies clauses (Solver.model s)
+          | Solver.Unsat -> not expected
+          | Solver.Unknown -> false))
+
 (* -- Dimacs ---------------------------------------------------------- *)
 
 let test_dimacs_parse () =
@@ -282,6 +337,9 @@ let suite =
     solver_agrees_with_brute_force;
     solver_models_are_valid;
     incremental_assumptions_sound;
+    ("sanitized dimacs corpus", `Quick, test_sanitized_dimacs_corpus);
+    ("sanitized pigeonhole", `Quick, test_sanitized_pigeonhole);
+    sanitized_solver_agrees_with_brute_force;
     ("dimacs parse", `Quick, test_dimacs_parse);
     ("dimacs roundtrip", `Quick, test_dimacs_roundtrip);
     ("dimacs rejects junk", `Quick, test_dimacs_bad);
