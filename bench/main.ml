@@ -85,6 +85,70 @@ let regenerate_table1_slice () =
     (List.filter (fun (e : Suite.entry) -> e.paper.cnots <= 14) (Suite.all ()));
   print_newline ()
 
+(* Machine-readable run: the same quick slice, mapped once sequentially
+   and once with the recommended worker count, one JSON record per
+   (benchmark, jobs) pair.  CI archives the file (BENCH.json) so speedup
+   and determinism can be tracked across commits; [-j1]/[-jN] pairs that
+   completed within budget ([optimal] true) must agree on every cost
+   field — rows cut off by the 30 s deadline are anytime incumbents and
+   inherently timing-dependent at any worker count. *)
+
+let verified_json = function
+  | Some true -> "true"
+  | Some false -> "false"
+  | None -> "null"
+
+let emit_json file =
+  let entries =
+    List.filter (fun (e : Suite.entry) -> e.paper.cnots <= 14) (Suite.all ())
+  in
+  let jpar = max 2 (Domain.recommended_domain_count ()) in
+  let records = ref [] in
+  List.iter
+    (fun (e : Suite.entry) ->
+      List.iter
+        (fun jobs ->
+          let options =
+            {
+              Mapper.default with
+              strategy = Strategy.Minimal;
+              timeout = Some 30.0;
+              jobs;
+            }
+          in
+          let t0 = Unix.gettimeofday () in
+          let common wall rest =
+            Printf.sprintf
+              "  {\"suite\": \"quick\", \"benchmark\": \"%s\", \"device\": \
+               \"qx4\", \"strategy\": \"minimal\", \"jobs\": %d, \"wall_s\": \
+               %.3f, %s}"
+              e.name jobs wall rest
+          in
+          let record =
+            match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
+            | Ok r ->
+                common
+                  (Unix.gettimeofday () -. t0)
+                  (Printf.sprintf
+                     "\"total_gates\": %d, \"f_cost\": %d, \
+                      \"objective_cost\": %d, \"optimal\": %b, \"verified\": \
+                      %s, \"solves\": %d, \"workers\": %d, \
+                      \"pruned_by_incumbent\": %d"
+                     r.total_gates r.f_cost r.objective_cost r.optimal
+                     (verified_json r.verified) r.solves r.workers
+                     r.pruned_by_incumbent)
+            | Error _ ->
+                common (Unix.gettimeofday () -. t0) "\"failed\": true"
+          in
+          records := record :: !records)
+        [ 1; jpar ])
+    entries;
+  let oc = open_out file in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.rev !records));
+  close_out oc;
+  Printf.printf "bench: wrote %d records (quick slice, -j1 vs -j%d) to %s\n"
+    (List.length !records) jpar file
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: micro-benchmarks                                             *)
 (* ------------------------------------------------------------------ *)
@@ -223,14 +287,23 @@ let run_micro () =
     (List.sort compare rows)
 
 let () =
-  let micro_only =
-    Array.length Sys.argv > 1 && Sys.argv.(1) = "--micro-only"
-  in
-  let skip_micro =
-    Array.length Sys.argv > 1 && Sys.argv.(1) = "--no-micro"
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro_only = List.mem "--micro-only" args in
+  let skip_micro = List.mem "--no-micro" args in
+  let json =
+    let rec find = function
+      | [] -> None
+      | "--json" :: next :: _
+        when String.length next < 2 || String.sub next 0 2 <> "--" ->
+          Some next
+      | "--json" :: _ -> Some "BENCH.json"
+      | _ :: rest -> find rest
+    in
+    find args
   in
   if not micro_only then begin
     regenerate_figures ();
     regenerate_table1_slice ()
   end;
+  Option.iter emit_json json;
   if not skip_micro then run_micro ()

@@ -349,8 +349,22 @@ let map_cmd =
              enabled (watched literals, trail, branching heap).  A \
              violation aborts with an Invariant_violation exception.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel mapping engine (default: \
+             the machine's recommended domain count).  Candidate \
+             sub-architectures race with shared incumbent pruning; with \
+             $(b,--portfolio), the exact and heuristic lanes race too.  \
+             $(b,-j1) runs the classic sequential path; every value of \
+             N produces the same mapping.")
+  in
   let run input device strategy subsets timeout portfolio stage_budget
-      fallback inject lint sanitize output draw =
+      fallback inject lint sanitize jobs output draw =
+    let jobs = max 1 jobs in
     if sanitize then Solver.set_sanitize_all true;
     let circuit = load input in
     (match lint with
@@ -383,10 +397,12 @@ let map_cmd =
       let options =
         {
           Portfolio.default with
-          exact = { Mapper.default with strategy; use_subsets = subsets };
+          exact =
+            { Mapper.default with strategy; use_subsets = subsets; jobs };
           budget = timeout;
           exact_budget = stage_budget;
           cascade = fallback;
+          jobs;
         }
       in
       match Portfolio.run ~options ~arch:device circuit with
@@ -402,7 +418,7 @@ let map_cmd =
     end
     else begin
       let options =
-        { Mapper.default with strategy; use_subsets = subsets; timeout }
+        { Mapper.default with strategy; use_subsets = subsets; timeout; jobs }
       in
       match Mapper.run ~options ~arch:device circuit with
       | Ok r ->
@@ -424,7 +440,8 @@ let map_cmd =
     Term.(
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
-      $ inject_arg $ lint_arg $ sanitize_arg $ output_arg $ draw_arg)
+      $ inject_arg $ lint_arg $ sanitize_arg $ jobs_arg $ output_arg
+      $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

@@ -17,9 +17,13 @@ type cell = {
   time : float;
   gprime : int option;
   optimal : bool;
+  solves : int;
+  workers : int;
+  pruned : int;
 }
 
-let run_exact ~arch ~timeout ~strategy ~use_subsets ?upper_bound circuit =
+let run_exact ~arch ~timeout ~jobs ~strategy ~use_subsets ?upper_bound circuit
+    =
   let options =
     {
       Mapper.default with
@@ -28,6 +32,7 @@ let run_exact ~arch ~timeout ~strategy ~use_subsets ?upper_bound circuit =
       timeout = Some timeout;
       verify = true;
       upper_bound;
+      jobs;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -43,6 +48,9 @@ let run_exact ~arch ~timeout ~strategy ~use_subsets ?upper_bound circuit =
         time = Unix.gettimeofday () -. t0;
         gprime = Some r.reported_gprime;
         optimal = r.optimal;
+        solves = r.solves;
+        workers = r.workers;
+        pruned = r.pruned_by_incumbent;
       }
   | Error _ ->
       {
@@ -50,7 +58,20 @@ let run_exact ~arch ~timeout ~strategy ~use_subsets ?upper_bound circuit =
         time = Unix.gettimeofday () -. t0;
         gprime = None;
         optimal = false;
+        solves = 0;
+        workers = 1;
+        pruned = 0;
       }
+
+(* Minimal JSON emitter — records are flat, so strings/ints/floats/bools
+   cover everything and no dependency is needed. *)
+let json_cell name (c : cell) =
+  Printf.sprintf
+    "\"%s\": {\"cost\": %s, \"time_s\": %.3f, \"optimal\": %b, \"solves\": \
+     %d, \"workers\": %d, \"pruned_by_incumbent\": %d}"
+    name
+    (match c.cost with Some v -> string_of_int v | None -> "null")
+    c.time c.optimal c.solves c.workers c.pruned
 
 (* a trailing ~ marks a best-found-but-not-proven-minimal cell *)
 let pp_cost fmt (c, cmin, optimal) =
@@ -64,16 +85,23 @@ let () =
   let timeout = ref 600.0 in
   let which = ref "all" in
   let csv = ref None in
+  let json = ref None in
   let device = ref "qx4" in
   let times = ref 5 in
+  let jobs = ref (Domain.recommended_domain_count ()) in
   let spec =
     [
       ("--timeout", Arg.Set_float timeout, "<s> per-configuration budget");
       ("--benchmarks", Arg.Set_string which,
        "all|small|<name,name,...> benchmark selection");
       ("--csv", Arg.String (fun f -> csv := Some f), "<file> also write CSV");
+      ("--json", Arg.String (fun f -> json := Some f),
+       "<file> also write per-benchmark JSON records");
       ("--device", Arg.Set_string device, "device name (default qx4)");
       ("--heuristic-runs", Arg.Set_int times, "<n> heuristic repetitions");
+      ("-j", Arg.Set_int jobs,
+       "<n> worker domains for the mapping engine (1 = sequential; \
+        default: recommended domain count)");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -99,6 +127,7 @@ let () =
                    exit 2)
   in
   let csv_oc = Option.map open_out !csv in
+  let json_records = ref [] in
   Option.iter
     (fun oc ->
       output_string oc
@@ -136,15 +165,15 @@ let () =
         | None, None -> None
       in
       let ctri =
-        run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Qubit_triangle
+        run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Qubit_triangle
           ~use_subsets:true circuit
       in
       let codd =
-        run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Odd_gates
+        run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Odd_gates
           ~use_subsets:true circuit
       in
       let cdis =
-        run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Disjoint_qubits
+        run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Disjoint_qubits
           ~use_subsets:true
           ?upper_bound:(if n = m then Some ibm.f_cost else None)
           circuit
@@ -156,7 +185,7 @@ let () =
         if n = m then begin
           (* the Sec. 4.1 method degenerates to the full instance *)
           let c =
-            run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Minimal
+            run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
               ~use_subsets:false
               ?upper_bound:(min_bound (Some ibm.f_cost) strategy_bound)
               circuit
@@ -165,7 +194,7 @@ let () =
         end
         else begin
           let csub =
-            run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Minimal
+            run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
               ~use_subsets:true ?upper_bound:strategy_bound circuit
           in
           let bound =
@@ -173,7 +202,7 @@ let () =
               (min_bound (Some ibm.f_cost) strategy_bound)
           in
           let cmin =
-            run_exact ~arch ~timeout:!timeout ~strategy:Strategy.Minimal
+            run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
               ~use_subsets:false ?upper_bound:bound circuit
           in
           (cmin, csub)
@@ -229,8 +258,28 @@ let () =
             (match ctri.gprime with Some g -> string_of_int g | None -> "")
             (f ctri.cost) ctri.time ibm.total_gates e.paper.c_min
             e.paper.c_ibm)
-        csv_oc)
+        csv_oc;
+      if !json <> None then
+        json_records :=
+          Printf.sprintf
+            "  {\"benchmark\": \"%s\", \"device\": \"%s\", \"n\": %d, \
+             \"original_gates\": %d, \"jobs\": %d, \"ibm_style_gates\": %d, \
+             %s, %s, %s, %s, %s}"
+            e.name !device n orig (max 1 !jobs) ibm.total_gates
+            (json_cell "minimal" cmin)
+            (json_cell "subset" csub)
+            (json_cell "disjoint" cdis)
+            (json_cell "odd" codd)
+            (json_cell "triangle" ctri)
+          :: !json_records)
     entries;
+  Option.iter
+    (fun file ->
+      let oc = open_out file in
+      Printf.fprintf oc "[\n%s\n]\n"
+        (String.concat ",\n" (List.rev !json_records));
+      close_out oc)
+    !json;
   if !counted > 0 then begin
     let pct a b = 100.0 *. (float_of_int a /. float_of_int b -. 1.0) in
     Format.printf

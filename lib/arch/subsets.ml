@@ -11,8 +11,38 @@ let all cm n =
     invalid_arg "Subsets.all: bad size";
   choose n (List.init (Coupling.num_qubits cm) Fun.id)
 
-let connected cm n =
+let connected_uncached cm n =
   List.filter (Coupling.subset_connected cm) (all cm n)
+
+(* Memoized on the canonical form of the coupling map (qubit count plus
+   the sorted directed edge list) and the subset size.  Entries are
+   immutable lists built once; the table itself is mutex-protected so
+   concurrent mapper workers may share it — first writer wins, a lost
+   race just recomputes the same value. *)
+let cache : (int * (int * int) list * int, int list list) Hashtbl.t =
+  Hashtbl.create 16
+
+let cache_lock = Mutex.create ()
+
+let connected cm n =
+  let key = (Coupling.num_qubits cm, Coupling.edges cm, n) in
+  Mutex.lock cache_lock;
+  match Hashtbl.find_opt cache key with
+  | Some subsets ->
+      Mutex.unlock cache_lock;
+      subsets
+  | None ->
+      Mutex.unlock cache_lock;
+      let subsets = connected_uncached cm n in
+      Mutex.lock cache_lock;
+      (match Hashtbl.find_opt cache key with
+      | Some prior ->
+          Mutex.unlock cache_lock;
+          prior
+      | None ->
+          Hashtbl.add cache key subsets;
+          Mutex.unlock cache_lock;
+          subsets)
 
 let count_all cm n = List.length (all cm n)
 let count_connected cm n = List.length (connected cm n)

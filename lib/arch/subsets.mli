@@ -14,7 +14,12 @@ val all : Coupling.t -> int -> int list list
 (** All size-[n] subsets of the architecture's qubits. *)
 
 val connected : Coupling.t -> int -> int list list
-(** Only the subsets whose induced undirected graph is connected. *)
+(** Only the subsets whose induced undirected graph is connected.
+
+    Memoized on the canonical coupling form (qubit count + sorted edge
+    list) and [n]: repeated calls for equal architectures return the
+    same physical list.  Safe to call from concurrent domains; never
+    mutate the result. *)
 
 val count_all : Coupling.t -> int -> int
 val count_connected : Coupling.t -> int -> int

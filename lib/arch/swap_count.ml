@@ -49,6 +49,35 @@ let compute cm =
   done;
   { num_qubits = m; table; max_swaps = !max_swaps; ordered = List.rev !ordered }
 
+(* Cached variant, keyed on the canonical coupling form.  A table is
+   m!-sized and costs a BFS to build, but is immutable once [compute]
+   returns, so sharing one per architecture across repeated mapper runs
+   (and across concurrent worker domains) is both a large saving and
+   race-free.  The mutex only guards the lookup table; on a lost
+   publication race the first writer's table wins. *)
+let cache : (int * (int * int) list, t) Hashtbl.t = Hashtbl.create 8
+let cache_lock = Mutex.create ()
+
+let compute_cached cm =
+  let key = (Coupling.num_qubits cm, Coupling.edges cm) in
+  Mutex.lock cache_lock;
+  match Hashtbl.find_opt cache key with
+  | Some t ->
+      Mutex.unlock cache_lock;
+      t
+  | None ->
+      Mutex.unlock cache_lock;
+      let t = compute cm in
+      Mutex.lock cache_lock;
+      (match Hashtbl.find_opt cache key with
+      | Some prior ->
+          Mutex.unlock cache_lock;
+          prior
+      | None ->
+          Hashtbl.add cache key t;
+          Mutex.unlock cache_lock;
+          t)
+
 let num_qubits t = t.num_qubits
 
 let check_size t p =

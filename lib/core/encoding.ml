@@ -183,7 +183,7 @@ let build ?(amo = Amo.default) ?(costs = paper_costs) cnf inst =
   let m = Coupling.num_qubits inst.arch in
   let n = inst.num_logical in
   let g = Array.length inst.cnots in
-  let table = Swap_count.compute inst.arch in
+  let table = Swap_count.compute_cached inst.arch in
   let seg_of_gate, num_segments = segments_of inst in
   let x =
     Array.init num_segments (fun _ ->

@@ -11,6 +11,9 @@ module Coupling = Qxm_arch.Coupling
 module Subsets = Qxm_arch.Subsets
 module Swap_count = Qxm_arch.Swap_count
 module Permutation = Qxm_arch.Permutation
+module Pool = Qxm_par.Pool
+module Incumbent = Qxm_par.Incumbent
+module Cancel = Qxm_par.Cancel
 
 type options = {
   strategy : Strategy.t;
@@ -22,7 +25,19 @@ type options = {
   verify : bool;
   upper_bound : int option;
   costs : Encoding.cost_model;
+  jobs : int;
+  incumbent_pruning : bool;
 }
+
+(* [QXM_JOBS] lets a whole process (most usefully: the test suite under
+   CI) opt into parallel candidate fan-out without touching call sites. *)
+let jobs_from_env () =
+  match Sys.getenv_opt "QXM_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> 1)
 
 let default =
   {
@@ -35,6 +50,8 @@ let default =
     verify = true;
     upper_bound = None;
     costs = Encoding.paper_costs;
+    jobs = jobs_from_env ();
+    incumbent_pruning = true;
   }
 
 type report = {
@@ -51,6 +68,8 @@ type report = {
   subsets_tried : int;
   solves : int;
   verified : bool option;
+  workers : int;
+  pruned_by_incumbent : int;
 }
 
 type failure =
@@ -145,8 +164,11 @@ type solved = {
   s_solves : int;
 }
 
-let solve_instance ~options ~deadline ~bound inst =
+let solve_instance ~options ~cancel ~deadline ~bound inst =
   let solver = Solver.create () in
+  (match cancel with
+  | Some c -> Solver.set_stop solver (Some (Cancel.flag c))
+  | None -> ());
   let cnf = Cnf.create solver in
   let built = Encoding.build ~amo:options.amo ~costs:options.costs cnf inst in
   let outcome =
@@ -170,7 +192,18 @@ let solve_instance ~options ~deadline ~bound inst =
 
 (* -- main entry ---------------------------------------------------------- *)
 
-let run ?(options = default) ~arch circuit =
+(* What one candidate sub-architecture contributed to the race.  Models
+   that lost the incumbent race are dropped immediately (their solver and
+   model arrays are garbage the moment a better candidate is published);
+   only their accounting survives. *)
+type candidate_outcome =
+  | C_skipped  (** deadline or cancellation hit before launching *)
+  | C_unsat of { via_incumbent : bool }
+  | C_budget
+  | C_kept of solved
+  | C_dropped of { cost : int; optimal : bool; solves : int }
+
+let run ?(options = default) ?pool ?cancel ~arch circuit =
   let start = Unix.gettimeofday () in
   (* Reserve a slice of the budget for reconstruction and verification:
      solving stops early enough that an incumbent found near the deadline
@@ -197,57 +230,117 @@ let run ?(options = default) ~arch circuit =
           (Subsets.connected arch n)
       else [ (arch, Array.init m Fun.id) ]
     in
-    let best = ref None in
+    let ncand = List.length candidates in
+    let incumbent = Incumbent.create () in
+    let inst_of sub_arch =
+      { Encoding.arch = sub_arch; num_logical = n; cnots; spots }
+    in
+    (* One racer per candidate.  Pruning: candidate [index] only matters
+       if it beats (or, at a tie, out-indexes) the incumbent, so its
+       search is capped by [Incumbent.cap] — a capped UNSAT then just
+       means "not better", which preserves the min-over-candidates
+       optimum.  Run inline (width 1), the caps replay the sequential
+       scan's [prev.s_cost - 1] bounds exactly. *)
+    let run_candidate index (sub_arch, _back) =
+      let give_up =
+        (match deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false)
+        || (match cancel with Some c -> Cancel.cancelled c | None -> false)
+      in
+      if give_up then C_skipped
+      else begin
+        let inc_cap =
+          if options.incumbent_pruning then Incumbent.cap incumbent ~index
+          else None
+        in
+        let bound =
+          match (options.upper_bound, inc_cap) with
+          | Some u, Some c -> Some (min u c)
+          | Some u, None -> Some u
+          | None, c -> c
+        in
+        match solve_instance ~options ~cancel ~deadline ~bound
+                (inst_of sub_arch)
+        with
+        | `Unsat -> C_unsat { via_incumbent = inc_cap <> None && bound = inc_cap }
+        | `Budget -> C_budget
+        | `Model s ->
+            if Incumbent.offer incumbent ~cost:s.s_cost ~index then C_kept s
+            else
+              C_dropped
+                { cost = s.s_cost; optimal = s.s_optimal; solves = s.s_solves }
+      end
+    in
+    (* Fault schedules count solve calls, which is only deterministic when
+       the calls are ordered — drop to one worker while a schedule is
+       armed, whatever [jobs] (or the supplied pool) says. *)
+    let fault_armed = Qxm_sat.Fault.armed () <> None in
+    let width =
+      if fault_armed then 1
+      else
+        match pool with Some p -> Pool.size p | None -> max 1 options.jobs
+    in
+    let workers = max 1 (min width ncand) in
+    let results =
+      if workers <= 1 then List.mapi run_candidate candidates
+      else
+        let fan p =
+          Pool.await_all
+            (List.mapi
+               (fun i c -> Pool.submit p (fun () -> run_candidate i c))
+               candidates)
+        in
+        match pool with
+        | Some p -> fan p
+        | None -> Pool.with_pool workers fan
+    in
     let all_optimal = ref true in
     let any_budget = ref false in
     let solves = ref 0 in
+    let pruned = ref 0 in
     List.iter
-      (fun (sub_arch, back) ->
-        let give_up =
-          match deadline with
-          | Some d -> Unix.gettimeofday () > d
-          | None -> false
-        in
-        if give_up then any_budget := true
-        else begin
-          let inst =
-            {
-              Encoding.arch = sub_arch;
-              num_logical = n;
-              cnots;
-              spots;
-            }
-          in
-          (* Pruning: a later sub-instance only matters if it beats the
-             best cost found so far, so bound it one below — a pruned
-             UNSAT then just means "not better", which preserves the
-             min-over-subsets optimum. *)
-          let bound =
-            match (options.upper_bound, !best) with
-            | ub, Some (prev, _, _) ->
-                let cap = prev.s_cost - 1 in
-                Some (match ub with Some u -> min u cap | None -> cap)
-            | ub, None -> ub
-          in
-          match solve_instance ~options ~deadline ~bound inst with
-          | `Unsat -> ()
-          | `Budget ->
-              any_budget := true;
-              all_optimal := false
-          | `Model s ->
-              solves := !solves + s.s_solves;
-              if not s.s_optimal then all_optimal := false;
-              let better =
-                match !best with
-                | None -> true
-                | Some (prev, _, _) -> s.s_cost < prev.s_cost
-              in
-              if better then best := Some (s, sub_arch, back)
-        end)
-      candidates;
-    match !best with
+      (function
+        | C_skipped -> any_budget := true
+        | C_unsat { via_incumbent } -> if via_incumbent then incr pruned
+        | C_budget ->
+            any_budget := true;
+            all_optimal := false
+        | C_kept s ->
+            solves := !solves + s.s_solves;
+            if not s.s_optimal then all_optimal := false
+        | C_dropped d ->
+            solves := !solves + d.solves;
+            if not d.optimal then all_optimal := false)
+      results;
+    match Incumbent.get incumbent with
     | None -> if !any_budget then Error Timeout else Error Unmappable
-    | Some (s, sub_arch, back) ->
+    | Some (best_cost, best_index) ->
+        let s, sub_arch, back =
+          match (List.nth results best_index, List.nth candidates best_index)
+          with
+          | C_kept s, (sub_arch, back) -> (s, sub_arch, back)
+          | _ -> assert false
+        in
+        (* Canonical model: with several candidates, the race model depends
+           on which pruning bounds were in force when the winner solved, so
+           re-derive it on a fresh solver with the winning cost as the only
+           bound.  That makes the returned model a function of the winner
+           alone — identical for every [jobs] value.  Budget-bound runs
+           fall back to the race model rather than lose it. *)
+        let s =
+          if ncand <= 1 then s
+          else
+            match
+              solve_instance ~options ~cancel ~deadline
+                ~bound:(Some best_cost) (inst_of sub_arch)
+            with
+            | `Model s2 ->
+                solves := !solves + s2.s_solves;
+                if not s2.s_optimal then all_optimal := false;
+                s2
+            | `Unsat | `Budget -> s
+        in
         let m_inst = Coupling.num_qubits sub_arch in
         let mapped_inst, init_l, final_l, init_full, final_full =
           reconstruct s.s_built s.s_model circuit m_inst
@@ -281,9 +374,11 @@ let run ?(options = default) ~arch circuit =
             optimal = !all_optimal && not !any_budget;
             runtime = Unix.gettimeofday () -. start;
             reported_gprime;
-            subsets_tried = List.length candidates;
+            subsets_tried = ncand;
             solves = !solves;
             verified;
+            workers;
+            pruned_by_incumbent = !pruned;
           }
         in
         Ok report

@@ -42,11 +42,29 @@ type options = {
           SWAP and 4 per switched CNOT).  [report.f_cost] always counts
           elementary gates regardless; custom weights change what is
           *optimized*, e.g. (1, 1) minimizes the number of insertions. *)
+  jobs : int;
+      (** Worker domains for the candidate fan-out (one per connected
+          subset).  [1] runs candidates inline in index order — the
+          sequential path; higher values race them on a
+          [Qxm_par.Pool].  Whatever the interleaving, the report is
+          deterministic: the shared incumbent breaks cost ties by
+          candidate index and the winner's model is re-derived
+          canonically (see [doc/PARALLEL.md]).  Ignored when a [?pool]
+          is supplied; clamped to 1 while a {!Qxm_sat.Fault} schedule
+          is armed. *)
+  incumbent_pruning : bool;
+      (** Cap each candidate's search with the best cost published so
+          far (on by default).  A capped UNSAT means "cannot beat the
+          incumbent", so the minimum over candidates is unchanged;
+          switching this off exists for the property test proving
+          exactly that, and to measure the pruning's effect. *)
 }
 
 val default : options
 (** Minimal strategy, subsets on, no timeout, unlimited conflicts,
-    linear descent, sequential AMO, verification on. *)
+    linear descent, sequential AMO, verification on, incumbent pruning
+    on, and [jobs] from the [QXM_JOBS] environment variable (default
+    1). *)
 
 type report = {
   mapped : Qxm_circuit.Circuit.t;
@@ -69,6 +87,14 @@ type report = {
   subsets_tried : int;
   solves : int;  (** SAT solver calls *)
   verified : bool option;  (** [Some true] iff simulation proved equality *)
+  workers : int;
+      (** Worker domains actually used for the candidate race:
+          [min jobs subsets_tried], at least 1. *)
+  pruned_by_incumbent : int;
+      (** Candidates whose search came back UNSAT under a bound supplied
+          by the shared incumbent — i.e. sub-instances the
+          branch-and-bound race discharged without finding their own
+          optimum. *)
 }
 
 type failure =
@@ -80,9 +106,18 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val run :
   ?options:options ->
+  ?pool:Qxm_par.Pool.t ->
+  ?cancel:Qxm_par.Cancel.t ->
   arch:Qxm_arch.Coupling.t ->
   Qxm_circuit.Circuit.t ->
   (report, failure) result
 (** Map [circuit] onto [arch].  The input must not contain SWAP gates
     (decompose them first); barriers pass through.
+
+    [?pool] shares an existing worker pool instead of spinning up
+    [options.jobs] fresh domains — the portfolio layer passes its own so
+    racing lanes and candidate fan-out draw from one set of workers.
+    [?cancel] is polled between candidates and inside every SAT solve
+    (via [Solver.set_stop]); once cancelled, the call winds down quickly
+    and reports whatever it can ([Timeout] when nothing was found).
     @raise Invalid_argument on SWAP gates in the input. *)

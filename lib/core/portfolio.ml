@@ -3,6 +3,8 @@ module Coupling = Qxm_arch.Coupling
 module Sabre = Qxm_heuristic.Sabre
 module Astar = Qxm_heuristic.Astar_mapper
 module Stochastic = Qxm_heuristic.Stochastic_swap
+module Pool = Qxm_par.Pool
+module Cancel = Qxm_par.Cancel
 
 type provenance = Exact_optimal | Exact_incumbent | Heuristic of string
 
@@ -37,6 +39,7 @@ type options = {
   probe : bool;
   cascade : engine list;
   seed : int;
+  jobs : int;
 }
 
 let default =
@@ -49,6 +52,7 @@ let default =
     probe = true;
     cascade = [ Sabre; Astar; Stochastic ];
     seed = 0;
+    jobs = 1;
   }
 
 type report = {
@@ -104,9 +108,19 @@ let run ?(options = default) ~arch circuit =
   let n = Circuit.num_qubits circuit in
   if n > m then Error (Too_many_logical { logical = n; physical = m })
   else begin
+    (* Fault schedules count solve calls; racing lanes would make that
+       order nondeterministic, so degradation tests always run the
+       sequential path. *)
+    let jobs =
+      if Qxm_sat.Fault.armed () <> None then 1 else max 1 options.jobs
+    in
+    let stage_lock = Mutex.create () in
     let stages = ref [] in
     let solves = ref 0 in
+    (* Telemetry order: per lane it is execution order; across racing
+       lanes it is completion order, which is the honest one. *)
     let record ~stage ~t0 ~stage_solves outcome =
+      Mutex.lock stage_lock;
       solves := !solves + stage_solves;
       stages :=
         {
@@ -115,7 +129,8 @@ let run ?(options = default) ~arch circuit =
           solves = stage_solves;
           outcome;
         }
-        :: !stages
+        :: !stages;
+      Mutex.unlock stage_lock
     in
     let exact_deadline =
       match (options.exact_budget, options.budget) with
@@ -136,10 +151,12 @@ let run ?(options = default) ~arch circuit =
       | _ -> best_exact := Some r
     in
     let proved_optimal = ref false in
+    let exact_cancel = Cancel.create () in
+    let heur_cancel = Cancel.create () in
     (* One exact stage: [strategy] is either the requested strategy (a
        ladder rung) or one of its relaxations (the probe), so the best
        incumbent's objective value is always a sound upper bound. *)
-    let run_exact ~stage ~strategy ~conflict_limit =
+    let run_exact ?pool ?cancel ~stage ~strategy ~conflict_limit () =
       let t0 = Unix.gettimeofday () in
       match exact_time_left () with
       | Some left when left <= 0.0 ->
@@ -166,7 +183,7 @@ let run ?(options = default) ~arch circuit =
             }
           in
           let seeded = upper_bound <> options.exact.upper_bound in
-          (match Mapper.run ~options:opts ~arch circuit with
+          (match Mapper.run ~options:opts ?pool ?cancel ~arch circuit with
           | Ok r ->
               note_exact r;
               if r.optimal && strategy = options.exact.strategy then
@@ -191,47 +208,62 @@ let run ?(options = default) ~arch circuit =
               record ~stage ~t0 ~stage_solves:0
                 ("failed: " ^ Printexc.to_string e))
     in
-    (* Stage 1: relaxed-strategy probe for a fast incumbent. *)
-    (if options.probe && options.ladder <> [] then
-       match Strategy.relaxations options.exact.strategy with
-       | [] -> ()
-       | relax :: _ ->
-           let limit =
-             match options.ladder with
-             | l :: _ when l >= 0 -> l
-             | _ -> 4000
-           in
-           run_exact
-             ~stage:("probe:" ^ Strategy.name relax)
-             ~strategy:relax ~conflict_limit:limit);
-    (* Stage 2: conflict-limit ladder on the requested strategy. *)
-    List.iter
-      (fun limit ->
-        if not !proved_optimal then
-          run_exact
-            ~stage:
-              (Printf.sprintf "exact:%s"
-                 (if limit < 0 then "unlimited" else string_of_int limit))
-            ~strategy:options.exact.strategy ~conflict_limit:limit)
-      options.ladder;
-    let exact_candidate =
-      Option.map
-        (fun (r : Mapper.report) ->
-          {
-            c_mapped = r.mapped;
-            c_elementary = r.elementary;
-            c_initial = r.initial;
-            c_final = r.final;
-            c_f_cost = r.f_cost;
-            c_total = r.total_gates;
-            c_verified = r.verified;
-            c_provenance =
-              (if !proved_optimal then Exact_optimal else Exact_incumbent);
-          })
-        !best_exact
-    in
-    (* An exact result must pass the same gate as any fallback. *)
-    let exact_candidate =
+    (* The exact lane: relaxed-strategy probe, then the conflict-limit
+       ladder, then certification of the best incumbent.  [cancel] is the
+       lane's own token — a raced lane that lost stops between rungs (and,
+       through [Solver.set_stop], mid-solve). *)
+    let exact_lane ?pool ?cancel () =
+      let lane_cancelled () =
+        match cancel with Some c -> Cancel.cancelled c | None -> false
+      in
+      let lost_race = ref false in
+      (* Stage 1: relaxed-strategy probe for a fast incumbent. *)
+      (if options.probe && options.ladder <> [] then
+         match Strategy.relaxations options.exact.strategy with
+         | [] -> ()
+         | relax :: _ ->
+             let limit =
+               match options.ladder with
+               | l :: _ when l >= 0 -> l
+               | _ -> 4000
+             in
+             if lane_cancelled () then lost_race := true
+             else
+               run_exact ?pool ?cancel
+                 ~stage:("probe:" ^ Strategy.name relax)
+                 ~strategy:relax ~conflict_limit:limit ());
+      (* Stage 2: conflict-limit ladder on the requested strategy. *)
+      List.iter
+        (fun limit ->
+          if not !proved_optimal then
+            if lane_cancelled () then lost_race := true
+            else
+              run_exact ?pool ?cancel
+                ~stage:
+                  (Printf.sprintf "exact:%s"
+                     (if limit < 0 then "unlimited" else string_of_int limit))
+                ~strategy:options.exact.strategy ~conflict_limit:limit ())
+        options.ladder;
+      if !lost_race then
+        record ~stage:"exact" ~t0:(Unix.gettimeofday ()) ~stage_solves:0
+          "cancelled: lost race";
+      let exact_candidate =
+        Option.map
+          (fun (r : Mapper.report) ->
+            {
+              c_mapped = r.mapped;
+              c_elementary = r.elementary;
+              c_initial = r.initial;
+              c_final = r.final;
+              c_f_cost = r.f_cost;
+              c_total = r.total_gates;
+              c_verified = r.verified;
+              c_provenance =
+                (if !proved_optimal then Exact_optimal else Exact_incumbent);
+            })
+          !best_exact
+      in
+      (* An exact result must pass the same gate as any fallback. *)
       match exact_candidate with
       | None -> None
       | Some c -> (
@@ -242,16 +274,22 @@ let run ?(options = default) ~arch circuit =
                 ~stage_solves:0 msg;
               None)
     in
-    (* Stage 3: heuristic cascade, unless optimality is already proven. *)
-    let heuristic_candidate =
-      if !proved_optimal && exact_candidate <> None then None
-      else
-        let verify = options.exact.verify in
-        let rec cascade = function
-          | [] -> None
-          | engine :: rest -> (
-              let name = engine_name engine in
-              let t0 = Unix.gettimeofday () in
+    (* The heuristic lane: the cascade, stopping at the first certified
+       success.  [on_success] fires right after certification — the racing
+       path uses it to cancel the exact lane in latency mode. *)
+    let heuristic_lane ?cancel ~on_success () =
+      let verify = options.exact.verify in
+      let rec cascade = function
+        | [] -> None
+        | engine :: rest -> (
+            let name = engine_name engine in
+            let t0 = Unix.gettimeofday () in
+            if match cancel with Some c -> Cancel.cancelled c | None -> false
+            then begin
+              record ~stage:name ~t0 ~stage_solves:0 "skipped: cancelled";
+              None
+            end
+            else
               match
                 match engine with
                 | Sabre ->
@@ -299,6 +337,7 @@ let run ?(options = default) ~arch circuit =
                   | Ok c ->
                       record ~stage:name ~t0 ~stage_solves:0
                         (Printf.sprintf "ok F=%d" c.c_f_cost);
+                      on_success ();
                       Some c
                   | Error msg ->
                       record ~stage:name ~t0 ~stage_solves:0 msg;
@@ -307,8 +346,50 @@ let run ?(options = default) ~arch circuit =
                   record ~stage:name ~t0 ~stage_solves:0
                     ("failed: " ^ Printexc.to_string e);
                   cascade rest)
+      in
+      cascade options.cascade
+    in
+    let exact_candidate, heuristic_candidate =
+      if jobs <= 1 then begin
+        (* Sequential portfolio: exact stages first, heuristics only when
+           optimality is still open — exactly the pre-racing pipeline. *)
+        let e = exact_lane () in
+        let h =
+          if !proved_optimal && e <> None then None
+          else heuristic_lane ~on_success:ignore ()
         in
-        cascade options.cascade
+        (e, h)
+      end
+      else
+        (* Racing portfolio: both lanes share one pool.  The exact lane
+           passes the pool down so the candidate fan-out and the lanes
+           draw from the same workers; futures are joined in lane order,
+           so the combination below is deterministic given each lane's
+           own result. *)
+        Pool.with_pool jobs (fun pool ->
+            let e_fut =
+              Pool.submit pool (fun () ->
+                  let e = exact_lane ~pool ~cancel:exact_cancel () in
+                  (* A proven optimum is final: the heuristic lane can
+                     only lose the comparison, so stop paying for it. *)
+                  if !proved_optimal && e <> None then
+                    Cancel.cancel heur_cancel;
+                  e)
+            in
+            let h_fut =
+              Pool.submit pool (fun () ->
+                  heuristic_lane ~cancel:heur_cancel
+                    ~on_success:(fun () ->
+                      (* First certified heuristic ends the race only in
+                         latency mode (a wall-clock budget is set); an
+                         unbudgeted run still wants the exact proof. *)
+                      if options.budget <> None || options.exact_budget <> None
+                      then Cancel.cancel exact_cancel)
+                    ())
+            in
+            match Pool.await_all [ e_fut; h_fut ] with
+            | [ e; h ] -> (e, h)
+            | _ -> assert false)
     in
     let chosen =
       match (exact_candidate, heuristic_candidate) with

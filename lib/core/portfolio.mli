@@ -87,6 +87,18 @@ type options = {
           [[Sabre; Astar; Stochastic]]).  The first engine whose result
           passes certification wins. *)
   seed : int;  (** Seed for the stochastic fallback (determinism). *)
+  jobs : int;
+      (** Worker domains for the portfolio (default 1 = the classic
+          sequential pipeline).  With [jobs > 1] the exact lane
+          (probe + ladder) and the heuristic cascade {e race} on one
+          shared [Qxm_par.Pool]: a proven exact optimum cancels the
+          cascade, and — when a wall-clock budget is set — the first
+          certified heuristic cancels the exact lane (latency mode;
+          unbudgeted runs let the exact proof finish).  The exact lane
+          passes the pool down to {!Mapper.run}, so sub-architecture
+          candidates fan out on the same workers.  Clamped to 1 while a
+          {!Qxm_sat.Fault} schedule is armed, keeping degradation tests
+          deterministic. *)
 }
 
 val default : options

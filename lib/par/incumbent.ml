@@ -1,0 +1,20 @@
+type t = { cell : (int * int) option Atomic.t }
+
+let create () = { cell = Atomic.make None }
+let get t = Atomic.get t.cell
+
+let rec offer t ~cost ~index =
+  let cur = Atomic.get t.cell in
+  let better =
+    match cur with
+    | None -> true
+    | Some (c, i) -> cost < c || (cost = c && index < i)
+  in
+  better
+  && (Atomic.compare_and_set t.cell cur (Some (cost, index))
+     || offer t ~cost ~index)
+
+let cap t ~index =
+  match get t with
+  | None -> None
+  | Some (c, i) -> Some (if i < index then c - 1 else c)

@@ -1,0 +1,37 @@
+(** Shared incumbent cell for branch-and-bound style candidate races.
+
+    One [Atomic] cell holding the best [(cost, index)] published so far,
+    ordered lexicographically — lowest cost first, then lowest candidate
+    index.  The index tie-break is what makes a parallel candidate
+    fan-out reproduce the sequential scan's winner: sequentially, a later
+    candidate replaces the incumbent only when {e strictly} cheaper, so
+    the winner is the lowest-indexed candidate achieving the minimum, and
+    {!offer}'s order makes the same candidate win under any
+    interleaving. *)
+
+type t
+
+val create : unit -> t
+(** An empty cell (no incumbent yet). *)
+
+val get : t -> (int * int) option
+(** Best published [(cost, index)], if any. *)
+
+val offer : t -> cost:int -> index:int -> bool
+(** Publish a candidate result via compare-and-swap; retries until the
+    value is installed or something at least as good (lexicographically)
+    is already present.  Returns [true] iff the offer was installed. *)
+
+val cap : t -> index:int -> int option
+(** The pruning bound candidate [index] may use for its own search, one
+    of:
+    - [None]: no incumbent yet, search unbounded;
+    - [Some (c - 1)] when the incumbent's index is below [index]: only a
+      strictly cheaper solution matters (a tie would lose anyway);
+    - [Some c] when the incumbent's index is above [index]: a tie at
+      cost [c] still matters, because this candidate would claim it by
+      index.
+
+    An UNSAT outcome under this cap means "cannot beat (or, in the
+    second case, tie) the incumbent" — it never discards the true
+    winner, so pruning preserves the minimum over all candidates. *)

@@ -1,0 +1,58 @@
+(** Fixed-size domain pool with helping futures.
+
+    The parallel substrate for the mapping engine, built from scratch on
+    OCaml 5's [Domain], [Mutex] and [Condition] (the repo's
+    implement-the-substrate rule: no domainslib).  A pool of width [j]
+    executes submitted tasks on [j - 1] worker domains plus any thread
+    blocked in {!await}, which {e helps}: instead of sleeping while its
+    future is pending, it pops and runs queued tasks.  Helping makes
+    nested submission safe — a task may submit subtasks to its own pool
+    and await them without deadlocking, even on a pool of width 1.
+
+    A pool of width 1 spawns no domains at all: {!submit} runs the task
+    inline, immediately, so futures are already resolved when returned
+    and execution order is exactly submission order.  This is the
+    [-j1] sequential path — same code, zero parallel machinery.
+
+    Determinism: {!await_all} joins futures in list order, and result
+    values are returned per future regardless of which domain executed
+    the task, so a fan-out whose tasks are order-independent yields the
+    same value on every pool width. *)
+
+type t
+
+val create : int -> t
+(** [create j] makes a pool of width [max 1 j]: [j - 1] worker domains
+    (none when [j <= 1]).  Call {!shutdown} when done, or use
+    {!with_pool}. *)
+
+val size : t -> int
+(** The pool's width [j] (worker domains + the helping submitter). *)
+
+val shutdown : t -> unit
+(** Stop accepting work, wake all workers and join their domains.
+    Already-queued tasks are drained first.  Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool j f] runs [f] with a fresh pool, shutting it down on
+    return or exception. *)
+
+(** {1 Futures} *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  Exceptions raised by the task are captured (with
+    backtrace) and re-raised by {!await}.  On a width-1 pool the task
+    runs before [submit] returns.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val await : 'a future -> 'a
+(** Block until the future resolves, running queued tasks of the same
+    pool while waiting (helping).  Re-raises the task's exception with
+    its original backtrace. *)
+
+val await_all : 'a future list -> 'a list
+(** Join in list order — the deterministic join used by the candidate
+    fan-out.  If several tasks failed, the exception of the earliest
+    future in the list wins. *)

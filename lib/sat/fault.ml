@@ -15,16 +15,27 @@ type state = {
 
 let st = { plan = None; rng = 1; seen = 0; faults = 0 }
 
+(* The harness is process-global mutable state, and solver instances may
+   run on several domains at once (lib/par).  Serialize every access so
+   counters stay exact; the unarmed fast path still only pays one lock
+   round-trip per [solve] call, which is noise next to the search. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let arm plan =
+  locked @@ fun () ->
   st.plan <- Some plan;
   st.rng <- (match plan with Seeded { seed; _ } -> seed lor 1 | _ -> 1);
   st.seen <- 0;
   st.faults <- 0
 
-let disarm () = st.plan <- None
-let armed () = st.plan
-let solves_seen () = st.seen
-let injected () = st.faults
+let disarm () = locked @@ fun () -> st.plan <- None
+let armed () = locked @@ fun () -> st.plan
+let solves_seen () = locked @@ fun () -> st.seen
+let injected () = locked @@ fun () -> st.faults
 
 let with_schedule plan f =
   arm plan;
@@ -43,6 +54,7 @@ let uniform () =
   float_of_int (st.rng land 0xFFFFFF) /. 16777216.0
 
 let on_solve () =
+  locked @@ fun () ->
   match st.plan with
   | None -> Pass
   | Some plan ->

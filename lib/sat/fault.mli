@@ -10,7 +10,12 @@
 
     The harness is process-global and off by default; an unarmed program
     pays one branch per [solve] call.  Arm it only from tests, the CLI
-    knob, or other top-level drivers — never from library code. *)
+    knob, or other top-level drivers — never from library code.
+
+    All entry points are mutex-protected, so concurrent solver domains
+    observe exact counters.  Schedules that count solve calls are still
+    order-sensitive under parallelism, which is why {!Qxm_exact.Mapper}
+    drops to a single worker whenever a schedule is armed. *)
 
 type schedule =
   | Always_unknown  (** Every solve call returns [Unknown] immediately. *)

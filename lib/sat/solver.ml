@@ -19,6 +19,7 @@ type stats = {
   propagations : int;
   restarts : int;
   learnt_literals : int;
+  clock_polls : int;
 }
 
 type t = {
@@ -55,6 +56,10 @@ type t = {
   mutable proof_inputs : Lit.t array list; (* reversed *)
   mutable proof_steps : Proof.step list; (* reversed *)
   mutable sanitize : bool;
+  mutable stop : bool Atomic.t option; (* cooperative cancellation flag *)
+  mutable clock_polls : int;
+  mutable last_clock_poll : int; (* conflict count at the last clock poll *)
+  mutable budget_hit : bool; (* latched by out_of_budget until next solve *)
 }
 
 let var_decay = 1.0 /. 0.95
@@ -95,7 +100,13 @@ let create () =
     proof_inputs = [];
     proof_steps = [];
     sanitize = false;
+    stop = None;
+    clock_polls = 0;
+    last_clock_poll = 0;
+    budget_hit = false;
   }
+
+let set_stop s flag = s.stop <- flag
 
 let sanitize_all = ref false
 let set_sanitize_all b = sanitize_all := b
@@ -133,6 +144,7 @@ let stats s =
     propagations = s.propagations;
     restarts = s.restarts;
     learnt_literals = s.learnt_literals;
+    clock_polls = s.clock_polls;
   }
 
 (* -- variable allocation ------------------------------------------------- *)
@@ -684,9 +696,30 @@ let luby y x =
 exception Result of result
 exception Restart
 
+(* Budget check, on the hot path (every decision).  The conflict limit
+   and the atomic stop flag are cheap and checked every time; the
+   wall-clock deadline costs a syscall, so it is polled only after the
+   conflict count has advanced by 64 since the last poll (the first
+   check of a solve call always polls — [solve] rewinds
+   [last_clock_poll]).  A positive answer is latched until the next
+   [solve] call: the caller's re-check after an [Unknown] must agree
+   with the poll that produced it. *)
 let out_of_budget s ~conflict_limit ~deadline =
-  (conflict_limit >= 0 && s.conflicts >= conflict_limit)
-  || (deadline > 0.0 && Unix.gettimeofday () > deadline)
+  s.budget_hit
+  ||
+  let hit =
+    (match s.stop with Some f -> Atomic.get f | None -> false)
+    || (conflict_limit >= 0 && s.conflicts >= conflict_limit)
+    || deadline > 0.0
+       && s.conflicts - s.last_clock_poll >= 64
+       && begin
+            s.last_clock_poll <- s.conflicts;
+            s.clock_polls <- s.clock_polls + 1;
+            Unix.gettimeofday () > deadline
+          end
+  in
+  if hit then s.budget_hit <- true;
+  hit
 
 let search s ~nof_conflicts ~conflict_limit ~deadline =
   let conflict_c = ref 0 in
@@ -787,6 +820,10 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
   else begin
     s.has_model <- false;
     s.conflict_core <- [];
+    s.budget_hit <- false;
+    (* force a clock poll on the first budget check of this call, so an
+       already-expired deadline is noticed before any conflict *)
+    s.last_clock_poll <- s.conflicts - 64;
     s.assumptions <- Array.of_list assumptions;
     Array.iter
       (fun l ->

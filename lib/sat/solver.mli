@@ -66,9 +66,21 @@ type stats = {
   propagations : int;
   restarts : int;
   learnt_literals : int;
+  clock_polls : int;
+      (** How often the budget check consulted the wall clock.  Deadline
+          checks are memoized: the clock is polled at most once per 64
+          conflicts (plus once at each [solve] entry), so this stays a
+          tiny fraction of [conflicts]. *)
 }
 
 val stats : t -> stats
+
+val set_stop : t -> bool Atomic.t option -> unit
+(** Install (or clear, with [None]) an external stop flag.  The flag is
+    read on every budget check; once it is [true] the current and any
+    subsequent [solve] call returns [Unknown] promptly.  This is the
+    cooperative-cancellation hook used by racing portfolio lanes — the
+    flag is shared via [Qxm_par.Cancel]. *)
 
 val set_random_seed : t -> int -> unit
 (** Seed the (rarely used) random polarity/branching tie-breaking. *)

@@ -16,4 +16,5 @@ let () =
       ("costmodel", Test_costmodel.suite);
       ("robustness", Test_robustness.suite);
       ("lint", Test_lint.suite);
+      ("par", Test_par.suite);
     ]
