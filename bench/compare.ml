@@ -1,0 +1,146 @@
+(* Benchmark regression guard.
+
+   Usage: compare.exe BASELINE.json FRESH.json
+
+   Both files are BENCH.json emissions of `bench/main.exe --json` — one
+   flat JSON array whose records carry "benchmark", "jobs", "wall_s",
+   "optimal" (or "failed": true).  The guard compares the fresh run
+   against the committed baseline and fails (exit 1) when
+
+   - a (benchmark, jobs) row that was [optimal: true] in the baseline is
+     missing, failed, or no longer optimal in the fresh run — a
+     completeness regression; or
+   - such a row's wall time regressed by more than 25% plus a fixed
+     0.25 s noise allowance — a performance regression.
+
+   Rows the baseline could not finish within budget are reported for
+   information only: anytime incumbents are timing-dependent, so neither
+   their costs nor their wall times are stable enough to gate on.
+   Improvements (new optimal rows, faster rows) never fail the guard.
+
+   The parser is deliberately narrow: it reads the one-record-per-line
+   layout bench/main.exe writes, so the repository needs no JSON
+   dependency for CI gating. *)
+
+type row = {
+  benchmark : string;
+  jobs : int;
+  wall_s : float;
+  optimal : bool;
+  failed : bool;
+}
+
+let find_field line key =
+  let probe = Printf.sprintf "\"%s\": " key in
+  match
+    let plen = String.length probe in
+    let n = String.length line in
+    let rec scan i =
+      if i + plen > n then None
+      else if String.sub line i plen = probe then Some (i + plen)
+      else scan (i + 1)
+    in
+    scan 0
+  with
+  | None -> None
+  | Some start ->
+      let n = String.length line in
+      let stop = ref start in
+      while
+        !stop < n
+        && (match line.[!stop] with
+           | ',' | '}' | ']' -> false
+           | _ -> true)
+      do
+        incr stop
+      done;
+      Some (String.trim (String.sub line start (!stop - start)))
+
+let string_field line key =
+  match find_field line key with
+  | Some v
+    when String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+    ->
+      Some (String.sub v 1 (String.length v - 2))
+  | _ -> None
+
+let parse_file path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( string_field line "benchmark",
+           Option.bind (find_field line "jobs") int_of_string_opt,
+           Option.bind (find_field line "wall_s") float_of_string_opt )
+       with
+       | Some benchmark, Some jobs, Some wall_s ->
+           rows :=
+             {
+               benchmark;
+               jobs;
+               wall_s;
+               optimal = find_field line "optimal" = Some "true";
+               failed = find_field line "failed" = Some "true";
+             }
+             :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: compare.exe BASELINE.json FRESH.json";
+    exit 2
+  end;
+  let baseline = parse_file Sys.argv.(1) in
+  let fresh = parse_file Sys.argv.(2) in
+  if baseline = [] then begin
+    Printf.eprintf "compare: no records parsed from %s\n" Sys.argv.(1);
+    exit 2
+  end;
+  let lookup rows b j =
+    List.find_opt (fun r -> r.benchmark = b && r.jobs = j) rows
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Printf.printf fmt
+  in
+  List.iter
+    (fun base ->
+      let tag = Printf.sprintf "%s -j%d" base.benchmark base.jobs in
+      if not base.optimal then
+        (* informational: the baseline itself was an anytime row *)
+        match lookup fresh base.benchmark base.jobs with
+        | Some f when f.optimal ->
+            Printf.printf "improved   %-24s now optimal (%.3fs)\n" tag
+              f.wall_s
+        | _ -> Printf.printf "unstable   %-24s baseline not optimal, not gated\n" tag
+      else
+        match lookup fresh base.benchmark base.jobs with
+        | None -> fail "REGRESSED  %-24s missing from fresh run\n" tag
+        | Some f when f.failed ->
+            fail "REGRESSED  %-24s was optimal, now failed\n" tag
+        | Some f when not f.optimal ->
+            fail "REGRESSED  %-24s optimal flipped true -> false\n" tag
+        | Some f ->
+            let allowed = (base.wall_s *. 1.25) +. 0.25 in
+            if f.wall_s > allowed then
+              fail
+                "REGRESSED  %-24s wall %.3fs > allowed %.3fs (baseline \
+                 %.3fs)\n"
+                tag f.wall_s allowed base.wall_s
+            else
+              Printf.printf "ok         %-24s %.3fs (baseline %.3fs)\n" tag
+                f.wall_s base.wall_s)
+    baseline;
+  if !failures > 0 then begin
+    Printf.printf "compare: %d regression(s) against %s\n" !failures
+      Sys.argv.(1);
+    exit 1
+  end
+  else print_endline "compare: no regressions"

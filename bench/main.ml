@@ -127,16 +127,26 @@ let emit_json file =
           let record =
             match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
             | Ok r ->
+                let st = r.sat_stats in
                 common
                   (Unix.gettimeofday () -. t0)
                   (Printf.sprintf
                      "\"total_gates\": %d, \"f_cost\": %d, \
                       \"objective_cost\": %d, \"optimal\": %b, \"verified\": \
                       %s, \"solves\": %d, \"workers\": %d, \
-                      \"pruned_by_incumbent\": %d"
+                      \"pruned_by_incumbent\": %d, \"conflicts\": %d, \
+                      \"propagations\": %d, \"binary_propagations\": %d, \
+                      \"minimized_lits\": %d, \"subsumed_clauses\": %d, \
+                      \"vivified_clauses\": %d, \"glue\": [%d, %d, %d, %d, \
+                      %d]"
                      r.total_gates r.f_cost r.objective_cost r.optimal
                      (verified_json r.verified) r.solves r.workers
-                     r.pruned_by_incumbent)
+                     r.pruned_by_incumbent st.Solver.conflicts
+                     st.Solver.propagations st.Solver.binary_propagations
+                     st.Solver.minimized_lits st.Solver.subsumed_clauses
+                     st.Solver.vivified_clauses st.Solver.glue_1
+                     st.Solver.glue_2 st.Solver.glue_3_4 st.Solver.glue_5_8
+                     st.Solver.glue_9_plus)
             | Error _ ->
                 common (Unix.gettimeofday () -. t0) "\"failed\": true"
           in

@@ -90,6 +90,18 @@ let report_summary (r : Mapper.report) =
     | Some false -> ", VERIFICATION FAILED"
     | None -> "")
 
+(* Aggregated solver counters (see doc/PERFORMANCE.md for how to read
+   them), printed on stderr so the QASM stream on stdout stays clean. *)
+let print_sat_stats (s : Solver.stats) =
+  Printf.eprintf
+    "solver: %d conflicts, %d decisions, %d propagations (%d binary), %d \
+     restarts\n\
+     solver: glue histogram 1:%d 2:%d 3-4:%d 5-8:%d 9+:%d\n\
+     solver: %d literals minimized away, %d clauses subsumed, %d vivified\n"
+    s.conflicts s.decisions s.propagations s.binary_propagations s.restarts
+    s.glue_1 s.glue_2 s.glue_3_4 s.glue_5_8 s.glue_9_plus s.minimized_lits
+    s.subsumed_clauses s.vivified_clauses
+
 let cascade_conv =
   let parse s =
     let names = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
@@ -349,6 +361,16 @@ let map_cmd =
              enabled (watched literals, trail, branching heap).  A \
              violation aborts with an Invariant_violation exception.")
   in
+  let solver_stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print aggregated SAT-solver statistics on stderr after \
+             mapping: conflicts, propagations (total and binary-watch), \
+             the learnt-clause glue histogram, and the minimization / \
+             subsumption / vivification counters.")
+  in
   let jobs_arg =
     Arg.(
       value
@@ -363,7 +385,7 @@ let map_cmd =
              N produces the same mapping.")
   in
   let run input device strategy subsets timeout portfolio stage_budget
-      fallback inject lint sanitize jobs output draw =
+      fallback inject lint sanitize solver_stats jobs output draw =
     let jobs = max 1 jobs in
     if sanitize then Solver.set_sanitize_all true;
     let circuit = load input in
@@ -408,6 +430,7 @@ let map_cmd =
       match Portfolio.run ~options ~arch:device circuit with
       | Ok r ->
           portfolio_summary r;
+          if solver_stats then print_sat_stats r.sat_stats;
           if draw then Draw.print r.elementary;
           lint_output r.elementary;
           emit output r.elementary;
@@ -423,6 +446,7 @@ let map_cmd =
       match Mapper.run ~options ~arch:device circuit with
       | Ok r ->
           report_summary r;
+          if solver_stats then print_sat_stats r.sat_stats;
           if draw then Draw.print r.elementary;
           lint_output r.elementary;
           emit output r.elementary;
@@ -440,8 +464,8 @@ let map_cmd =
     Term.(
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
-      $ inject_arg $ lint_arg $ sanitize_arg $ jobs_arg $ output_arg
-      $ draw_arg)
+      $ inject_arg $ lint_arg $ sanitize_arg $ solver_stats_arg $ jobs_arg
+      $ output_arg $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

@@ -40,6 +40,22 @@ let compliance ~arch circuit =
     Ok ()
   with Reject message -> Error message
 
+(* The objective value the emitted (pre-decomposition) circuit actually
+   realizes: one [swap_weight] per SWAP gate, one [flip_weight] per CNOT
+   that runs against the coupling direction.  This is the cost a model
+   with exactly the circuit's placements and no gratuitous cost bits
+   achieves, so it is always a sound [upper_bound] for a later exact run
+   on the same instance. *)
+let objective_of_mapped ~costs ~arch circuit =
+  List.fold_left
+    (fun acc g ->
+      match g with
+      | Gate.Swap _ -> acc + costs.Encoding.swap_weight
+      | Gate.Cnot (c, t) when not (Coupling.allows arch c t) ->
+          acc + costs.Encoding.flip_weight
+      | _ -> acc)
+    0 (Circuit.gates circuit)
+
 type outcome =
   | Certified of Proof.t
   | Better_exists of int

@@ -19,6 +19,19 @@ val compliance :
     returned; unlike {!optimality} it involves no SAT solving, so it
     stays available under fault injection and budget exhaustion. *)
 
+val objective_of_mapped :
+  costs:Encoding.cost_model ->
+  arch:Qxm_arch.Coupling.t ->
+  Qxm_circuit.Circuit.t ->
+  int
+(** The objective value (Eq. 5, in the units of [costs]) realized by a
+    mapped circuit that still carries explicit SWAP gates: [swap_weight]
+    per SWAP plus [flip_weight] per CNOT placed against the coupling
+    direction.  Because an anytime model may set cost-ladder or switching
+    bits that the reconstructed circuit never pays for, this is the
+    honest — and still sound — cost to report and to seed a later run's
+    [upper_bound] with. *)
+
 type outcome =
   | Certified of Qxm_sat.Proof.t
       (** No solution with objective ≤ [cost] − 1 exists; the returned

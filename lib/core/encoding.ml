@@ -281,5 +281,35 @@ let permutation_at_spot b model s =
   | Some (pi, _) -> pi
   | None -> invalid_arg "Encoding: no consistent permutation (disconnected?)"
 
+(* Phase hints for warm-starting the solver from a heuristic mapping:
+   x^s_ij true where the heuristic placed logical j on physical i during
+   segment s, z^k true where it ran CNOT k against the edge direction.
+   Everything else (ladder steps, permutation selectors, AMO aux) stays
+   false, which biases the search toward the cheapest completion. *)
+let phase_hints b ~maps ~flips =
+  let nv = Solver.nvars (Cnf.solver b.cnf) in
+  let hints = Array.make nv false in
+  let set l v =
+    let var = Lit.var l in
+    if var < nv then hints.(var) <- (if Lit.sign l then v else not v)
+  in
+  let m = Coupling.num_qubits b.instance.arch in
+  let n = b.instance.num_logical in
+  Array.iteri
+    (fun s block ->
+      if s < Array.length maps then begin
+        let place = maps.(s) in
+        for i = 0 to m - 1 do
+          for j = 0 to n - 1 do
+            set block.(i).(j) (j < Array.length place && place.(j) = i)
+          done
+        done
+      end)
+    b.x;
+  Array.iteri
+    (fun k zk -> if k < Array.length flips then set zk flips.(k))
+    b.z;
+  hints
+
 let var_count b = Solver.nvars (Cnf.solver b.cnf)
 let clause_count b = Solver.nclauses (Cnf.solver b.cnf)

@@ -78,5 +78,14 @@ val permutation_at_spot :
     reachable permutation consistent with the movement of occupied
     positions between segments [s-1] and [s] (unique when n = m). *)
 
+val phase_hints :
+  built -> maps:int array array -> flips:bool array -> bool array
+(** Dummy-free phase-seeding model for {!Qxm_opt.Minimize.minimize}'s
+    [warm_start]: [phase_hints b ~maps ~flips] sets x^s_ij true where
+    [maps.(s).(j) = i] and z^k true where [flips.(k)], everything else
+    false.  [maps] is indexed like the built segments; missing trailing
+    segments or gates are left at the cost-0 bias.  Hints never affect
+    soundness — they only steer the solver's branching phases. *)
+
 val var_count : built -> int
 val clause_count : built -> int

@@ -14,6 +14,7 @@ module Permutation = Qxm_arch.Permutation
 module Pool = Qxm_par.Pool
 module Incumbent = Qxm_par.Incumbent
 module Cancel = Qxm_par.Cancel
+module Sabre = Qxm_heuristic.Sabre
 
 type options = {
   strategy : Strategy.t;
@@ -27,6 +28,7 @@ type options = {
   costs : Encoding.cost_model;
   jobs : int;
   incumbent_pruning : bool;
+  warm_start : bool;
 }
 
 (* [QXM_JOBS] lets a whole process (most usefully: the test suite under
@@ -52,6 +54,7 @@ let default =
     costs = Encoding.paper_costs;
     jobs = jobs_from_env ();
     incumbent_pruning = true;
+    warm_start = true;
   }
 
 type report = {
@@ -70,6 +73,7 @@ type report = {
   verified : bool option;
   workers : int;
   pruned_by_incumbent : int;
+  sat_stats : Solver.stats;
 }
 
 type failure =
@@ -162,7 +166,74 @@ type solved = {
   s_cost : int;
   s_optimal : bool;
   s_solves : int;
+  s_stats : Solver.stats;
 }
+
+(* Route the candidate's CNOT skeleton with the deterministic SABRE
+   heuristic and turn the result into branching-phase hints (always
+   sound) plus — under the [Minimal] strategy, where every CNOT has a
+   permutation spot before it, so any heuristic routing is a feasible
+   point of the exact encoding — an objective upper bound in the units of
+   [options.costs].  Other strategies restrict the spots, so the
+   heuristic's per-gate placements need not be encodable and only the
+   phase bias survives. *)
+let heuristic_warmth ~options ~built inst =
+  let skeleton =
+    Circuit.create inst.Encoding.num_logical
+      (List.map (fun (c, t) -> Gate.Cnot (c, t))
+         (Array.to_list inst.Encoding.cnots))
+  in
+  match Sabre.run ~verify:false ~arch:inst.Encoding.arch skeleton with
+  | exception _ -> None
+  | r ->
+      let arch = inst.Encoding.arch in
+      let g = Array.length inst.Encoding.cnots in
+      let nseg = Encoding.num_segments built in
+      let place = Array.copy r.Sabre.initial in
+      let maps = Array.make nseg [||] in
+      let flips = Array.make g false in
+      let nswaps = ref 0 and nflips = ref 0 in
+      let k = ref 0 in
+      List.iter
+        (fun gate ->
+          match gate with
+          | Gate.Swap (a, b) ->
+              incr nswaps;
+              Array.iteri
+                (fun j p ->
+                  if p = a then place.(j) <- b
+                  else if p = b then place.(j) <- a)
+                place
+          | Gate.Cnot (pc, pt) when !k < g ->
+              let s = Encoding.segment_of_gate built !k in
+              if Array.length maps.(s) = 0 then maps.(s) <- Array.copy place;
+              if not (Coupling.allows arch pc pt) then begin
+                flips.(!k) <- true;
+                incr nflips
+              end;
+              incr k
+          | _ -> ())
+        (Circuit.gates r.Sabre.mapped);
+      if !k <> g then None
+      else begin
+        (* segments with no CNOT (possible only in degenerate instances)
+           inherit the preceding placement *)
+        let prev = ref r.Sabre.initial in
+        Array.iteri
+          (fun s p ->
+            if Array.length p = 0 then maps.(s) <- Array.copy !prev
+            else prev := p)
+          maps;
+        let hints = Encoding.phase_hints built ~maps ~flips in
+        let bound =
+          if options.strategy = Strategy.Minimal then
+            Some
+              ((options.costs.Encoding.swap_weight * !nswaps)
+              + (options.costs.Encoding.flip_weight * !nflips))
+          else None
+        in
+        Some (hints, bound)
+      end
 
 let solve_instance ~options ~cancel ~deadline ~bound inst =
   let solver = Solver.create () in
@@ -171,14 +242,25 @@ let solve_instance ~options ~cancel ~deadline ~bound inst =
   | None -> ());
   let cnf = Cnf.create solver in
   let built = Encoding.build ~amo:options.amo ~costs:options.costs cnf inst in
+  let warmth =
+    if options.warm_start then heuristic_warmth ~options ~built inst else None
+  in
+  let bound =
+    match (bound, Option.bind warmth snd) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as x), None | None, (Some _ as x) -> x
+    | None, None -> None
+  in
   let outcome =
     Minimize.minimize ~strategy:options.opt_strategy
       ?deadline:(Option.map Fun.id deadline)
-      ~conflict_limit:options.conflict_limit ?upper_bound:bound ~cnf
+      ~conflict_limit:options.conflict_limit ?upper_bound:bound
+      ?warm_start:(Option.map fst warmth) ~cnf
       ~objective:(Encoding.objective built) ()
   in
+  let stats = Solver.stats solver in
   match outcome with
-  | { unsatisfiable = true; _ } -> `Unsat
+  | { unsatisfiable = true; _ } -> `Unsat stats
   | { model = Some model; cost = Some cost; optimal; solves; _ } ->
       `Model
         {
@@ -187,8 +269,9 @@ let solve_instance ~options ~cancel ~deadline ~bound inst =
           s_cost = cost;
           s_optimal = optimal;
           s_solves = solves;
+          s_stats = stats;
         }
-  | _ -> `Budget
+  | _ -> `Budget stats
 
 (* -- main entry ---------------------------------------------------------- *)
 
@@ -198,10 +281,15 @@ let solve_instance ~options ~cancel ~deadline ~bound inst =
    only their accounting survives. *)
 type candidate_outcome =
   | C_skipped  (** deadline or cancellation hit before launching *)
-  | C_unsat of { via_incumbent : bool }
-  | C_budget
+  | C_unsat of { via_incumbent : bool; stats : Solver.stats }
+  | C_budget of Solver.stats
   | C_kept of solved
-  | C_dropped of { cost : int; optimal : bool; solves : int }
+  | C_dropped of {
+      cost : int;
+      optimal : bool;
+      solves : int;
+      stats : Solver.stats;
+    }
 
 let run ?(options = default) ?pool ?cancel ~arch circuit =
   let start = Unix.gettimeofday () in
@@ -263,21 +351,35 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
         match solve_instance ~options ~cancel ~deadline ~bound
                 (inst_of sub_arch)
         with
-        | `Unsat -> C_unsat { via_incumbent = inc_cap <> None && bound = inc_cap }
-        | `Budget -> C_budget
+        | `Unsat stats ->
+            C_unsat
+              { via_incumbent = inc_cap <> None && bound = inc_cap; stats }
+        | `Budget stats -> C_budget stats
         | `Model s ->
             if Incumbent.offer incumbent ~cost:s.s_cost ~index then C_kept s
             else
               C_dropped
-                { cost = s.s_cost; optimal = s.s_optimal; solves = s.s_solves }
+                {
+                  cost = s.s_cost;
+                  optimal = s.s_optimal;
+                  solves = s.s_solves;
+                  stats = s.s_stats;
+                }
       end
     in
     (* Fault schedules count solve calls, which is only deterministic when
        the calls are ordered — drop to one worker while a schedule is
        armed, whatever [jobs] (or the supplied pool) says. *)
     let fault_armed = Qxm_sat.Fault.armed () <> None in
+    (* Pool spin-up (domain creation, scheduling) costs more than it buys
+       on tiny searches: a lone candidate, or an instance whose encoding
+       is small enough that the sequential scan finishes in milliseconds.
+       Those run inline whatever [jobs] says. *)
+    let trivial_work =
+      ncand <= 1 || Array.length cnots * n * n <= 256
+    in
     let width =
-      if fault_armed then 1
+      if fault_armed || trivial_work then 1
       else
         match pool with Some p -> Pool.size p | None -> max 1 options.jobs
     in
@@ -299,17 +401,24 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
     let any_budget = ref false in
     let solves = ref 0 in
     let pruned = ref 0 in
+    let sat_stats = ref Solver.zero_stats in
+    let add_stats st = sat_stats := Solver.add_stats !sat_stats st in
     List.iter
       (function
         | C_skipped -> any_budget := true
-        | C_unsat { via_incumbent } -> if via_incumbent then incr pruned
-        | C_budget ->
+        | C_unsat { via_incumbent; stats } ->
+            add_stats stats;
+            if via_incumbent then incr pruned
+        | C_budget stats ->
+            add_stats stats;
             any_budget := true;
             all_optimal := false
         | C_kept s ->
+            add_stats s.s_stats;
             solves := !solves + s.s_solves;
             if not s.s_optimal then all_optimal := false
         | C_dropped d ->
+            add_stats d.stats;
             solves := !solves + d.solves;
             if not d.optimal then all_optimal := false)
       results;
@@ -336,10 +445,13 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
                 ~bound:(Some best_cost) (inst_of sub_arch)
             with
             | `Model s2 ->
+                add_stats s2.s_stats;
                 solves := !solves + s2.s_solves;
                 if not s2.s_optimal then all_optimal := false;
                 s2
-            | `Unsat | `Budget -> s
+            | `Unsat st | `Budget st ->
+                add_stats st;
+                s
         in
         let m_inst = Coupling.num_qubits sub_arch in
         let mapped_inst, init_l, final_l, init_full, final_full =
@@ -359,9 +471,19 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
           Decompose.elementary ~allowed:(Coupling.allows arch) mapped
         in
         let f_cost = Decompose.added_cost ~original:circuit ~mapped:elementary in
+        (* Report the objective value the emitted circuit actually
+           realizes.  An anytime model (deadline hit mid-descent) can set
+           cost-ladder or switching bits the reconstruction never pays
+           for, so the model's own cost [s.s_cost] may overshoot; the
+           circuit-derived value is what a rerun seeded with it as
+           [upper_bound] can reproduce. *)
+        let objective_cost =
+          Certify.objective_of_mapped ~costs:options.costs ~arch mapped
+        in
+        assert (objective_cost <= s.s_cost);
         (* with the paper's weights the objective value bounds the real
            gate overhead; custom weights use different units *)
-        assert (options.costs <> Encoding.paper_costs || f_cost <= s.s_cost);
+        assert (options.costs <> Encoding.paper_costs || f_cost <= objective_cost);
         let report =
           {
             mapped;
@@ -369,7 +491,7 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
             initial = Array.map (fun p -> back.(p)) init_l;
             final = Array.map (fun p -> back.(p)) final_l;
             f_cost;
-            objective_cost = s.s_cost;
+            objective_cost;
             total_gates = Circuit.length elementary;
             optimal = !all_optimal && not !any_budget;
             runtime = Unix.gettimeofday () -. start;
@@ -379,6 +501,7 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
             verified;
             workers;
             pruned_by_incumbent = !pruned;
+            sat_stats = !sat_stats;
           }
         in
         Ok report

@@ -51,20 +51,31 @@ type options = {
           candidate index and the winner's model is re-derived
           canonically (see [doc/PARALLEL.md]).  Ignored when a [?pool]
           is supplied; clamped to 1 while a {!Qxm_sat.Fault} schedule
-          is armed. *)
+          is armed, and when the instance is trivially small (a single
+          candidate, or an encoding cheap enough that domain spin-up
+          would dominate the solve). *)
   incumbent_pruning : bool;
       (** Cap each candidate's search with the best cost published so
           far (on by default).  A capped UNSAT means "cannot beat the
           incumbent", so the minimum over candidates is unchanged;
           switching this off exists for the property test proving
           exactly that, and to measure the pruning's effect. *)
+  warm_start : bool;
+      (** Seed each candidate's SAT search from a SABRE routing of its
+          CNOT skeleton (on by default): the heuristic's placements and
+          direction switches become branching-phase hints, and — under
+          the [Minimal] strategy, whose spot set makes any routing
+          encodable — its cost becomes an extra [upper_bound].  Phase
+          hints never affect which cost is optimal, only how fast the
+          solver gets there; turning this off recovers the cold solver
+          for measurement. *)
 }
 
 val default : options
 (** Minimal strategy, subsets on, no timeout, unlimited conflicts,
     linear descent, sequential AMO, verification on, incumbent pruning
-    on, and [jobs] from the [QXM_JOBS] environment variable (default
-    1). *)
+    on, warm starts on, and [jobs] from the [QXM_JOBS] environment
+    variable (default 1). *)
 
 type report = {
   mapped : Qxm_circuit.Circuit.t;
@@ -76,8 +87,11 @@ type report = {
   final : int array;  (** logical qubit → physical qubit, at the end *)
   f_cost : int;  (** Eq. (5): 7·#SWAPs + 4·#switched CNOTs *)
   objective_cost : int;
-      (** The SAT objective value of the returned model, in the units of
-          [costs].  Under {!Encoding.paper_costs} it upper-bounds
+      (** The objective value (Eq. 5, in the units of [costs]) realized
+          by [mapped] — computed from the emitted circuit itself
+          ({!Certify.objective_of_mapped}), not from the raw model,
+          whose cost bits can overshoot on anytime (deadline-cut)
+          descents.  Under {!Encoding.paper_costs} it upper-bounds
           [f_cost]; it is the sound warm-start value for a later run's
           [upper_bound] (e.g. the portfolio's escalation rungs). *)
   total_gates : int;  (** Table 1's c: gate count of [elementary] *)
@@ -95,6 +109,12 @@ type report = {
           by the shared incumbent — i.e. sub-instances the
           branch-and-bound race discharged without finding their own
           optimum. *)
+  sat_stats : Qxm_sat.Solver.stats;
+      (** Field-wise sum of the solver statistics of every SAT search
+          this call ran (all candidates, including pruned and dropped
+          ones, plus the canonical re-solve).  Exposes the clause-tier,
+          minimization, and inprocessing counters for `--stats` output
+          and the benchmark JSON; see [doc/PERFORMANCE.md]. *)
 }
 
 type failure =

@@ -5,6 +5,7 @@ module Astar = Qxm_heuristic.Astar_mapper
 module Stochastic = Qxm_heuristic.Stochastic_swap
 module Pool = Qxm_par.Pool
 module Cancel = Qxm_par.Cancel
+module Solver = Qxm_sat.Solver
 
 type provenance = Exact_optimal | Exact_incumbent | Heuristic of string
 
@@ -68,6 +69,7 @@ type report = {
   runtime : float;
   solves : int;
   stages : stage list;
+  sat_stats : Solver.stats;
 }
 
 type failure =
@@ -117,6 +119,12 @@ let run ?(options = default) ~arch circuit =
     let stage_lock = Mutex.create () in
     let stages = ref [] in
     let solves = ref 0 in
+    let sat_stats = ref Solver.zero_stats in
+    let note_stats st =
+      Mutex.lock stage_lock;
+      sat_stats := Solver.add_stats !sat_stats st;
+      Mutex.unlock stage_lock
+    in
     (* Telemetry order: per lane it is execution order; across racing
        lanes it is completion order, which is the honest one. *)
     let record ~stage ~t0 ~stage_solves outcome =
@@ -185,6 +193,7 @@ let run ?(options = default) ~arch circuit =
           let seeded = upper_bound <> options.exact.upper_bound in
           (match Mapper.run ~options:opts ?pool ?cancel ~arch circuit with
           | Ok r ->
+              note_stats r.sat_stats;
               note_exact r;
               if r.optimal && strategy = options.exact.strategy then
                 proved_optimal := true;
@@ -414,5 +423,6 @@ let run ?(options = default) ~arch circuit =
             runtime = Unix.gettimeofday () -. start;
             solves = !solves;
             stages = List.rev !stages;
+            sat_stats = !sat_stats;
           }
   end

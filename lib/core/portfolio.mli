@@ -117,6 +117,11 @@ type report = {
   runtime : float;
   solves : int;  (** SAT solver calls across all stages *)
   stages : stage list;  (** telemetry, in execution order *)
+  sat_stats : Qxm_sat.Solver.stats;
+      (** Field-wise sum of {!Mapper.report.sat_stats} over every exact
+          stage that produced a report (probe and ladder rungs alike);
+          heuristic stages contribute nothing.  See
+          [doc/PERFORMANCE.md] for how to read the counters. *)
 }
 
 type failure =

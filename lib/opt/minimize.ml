@@ -22,8 +22,18 @@ let cost_of_model objective model =
     0 objective
 
 let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
-    ?(conflict_limit = -1) ?upper_bound ~cnf ~objective () =
+    ?(conflict_limit = -1) ?upper_bound ?warm_start ~cnf ~objective () =
   let solver = Cnf.solver cnf in
+  (* Phase seeding: bias the search toward the heuristic solution when
+     one is supplied, and toward cost 0 on the objective literals either
+     way.  Phases steer branching order only, so this cannot change which
+     costs are reachable — only how fast the descent starts. *)
+  List.iter
+    (fun (_, l) -> Solver.set_phase solver (Lit.var l) (not (Lit.sign l)))
+    objective;
+  (match warm_start with
+  | Some model -> Solver.suggest_model solver model
+  | None -> ());
   let solves = ref 0 in
   let solve ?(assumptions = []) () =
     incr solves;

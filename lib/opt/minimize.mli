@@ -28,6 +28,7 @@ val minimize :
   ?deadline:float ->
   ?conflict_limit:int ->
   ?upper_bound:int ->
+  ?warm_start:bool array ->
   cnf:Qxm_encode.Cnf.t ->
   objective:(int * Qxm_sat.Lit.t) list ->
   unit ->
@@ -45,7 +46,14 @@ val minimize :
     cost exists (e.g. from a heuristic mapper), or a pruning device when
     the caller only cares about solutions cheaper than a bound.  With a
     bound below the true optimum, the outcome reports [unsatisfiable];
-    the caller is responsible for interpreting that correctly. *)
+    the caller is responsible for interpreting that correctly.
+
+    [warm_start] seeds the solver's saved phases from a (partial) model,
+    indexed by variable ({!Qxm_sat.Solver.suggest_model}): the first
+    descent then starts at — or near — the heuristic solution instead of
+    a cold phase assignment.  Unlike [upper_bound] this is only a hint;
+    it cannot change the optimum or make the problem unsatisfiable.
+    Objective literals are always phase-seeded toward cost 0. *)
 
 val cost_of_model : (int * Qxm_sat.Lit.t) list -> bool array -> int
 (** Evaluate an objective on a model. *)

@@ -1,15 +1,24 @@
-(* CDCL solver in the MiniSat lineage.  The imperative core mirrors the
-   published MiniSat 2.2 algorithms; comments only mark the places where we
-   deviate (lazier clause deletion, simpler learnt-clause minimization). *)
+(* CDCL solver in the MiniSat lineage with the Glucose-style refinements
+   that matter on the paper's instances: LBD ("glue") tiered clause-database
+   management, recursive learnt-clause minimization, inline binary watch
+   lists, and restart-boundary inprocessing (backward subsumption + clause
+   vivification).  Comments mark where we deviate from the published
+   MiniSat 2.2 / Glucose algorithms. *)
 
 type clause = {
   mutable lits : int array; (* Lit.t array; watched literals at slots 0,1 *)
   learnt : bool;
   mutable cact : float;
+  mutable lbd : int; (* glue of a learnt clause; 0 for problem clauses *)
   mutable deleted : bool;
 }
 
 type watcher = { wclause : clause; blocker : Lit.t }
+
+(* Binary clauses live in their own watch lists: the other literal is
+   stored inline, so propagating over a binary clause touches no clause
+   memory unless it actually implies or conflicts. *)
+type bwatcher = { bother : Lit.t; bclause : clause }
 
 type result = Sat | Unsat | Unknown
 
@@ -20,7 +29,54 @@ type stats = {
   restarts : int;
   learnt_literals : int;
   clock_polls : int;
+  minimized_lits : int;
+  binary_propagations : int;
+  subsumed_clauses : int;
+  vivified_clauses : int;
+  glue_1 : int;
+  glue_2 : int;
+  glue_3_4 : int;
+  glue_5_8 : int;
+  glue_9_plus : int;
 }
+
+let zero_stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_literals = 0;
+    clock_polls = 0;
+    minimized_lits = 0;
+    binary_propagations = 0;
+    subsumed_clauses = 0;
+    vivified_clauses = 0;
+    glue_1 = 0;
+    glue_2 = 0;
+    glue_3_4 = 0;
+    glue_5_8 = 0;
+    glue_9_plus = 0;
+  }
+
+let add_stats a b =
+  {
+    conflicts = a.conflicts + b.conflicts;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    restarts = a.restarts + b.restarts;
+    learnt_literals = a.learnt_literals + b.learnt_literals;
+    clock_polls = a.clock_polls + b.clock_polls;
+    minimized_lits = a.minimized_lits + b.minimized_lits;
+    binary_propagations = a.binary_propagations + b.binary_propagations;
+    subsumed_clauses = a.subsumed_clauses + b.subsumed_clauses;
+    vivified_clauses = a.vivified_clauses + b.vivified_clauses;
+    glue_1 = a.glue_1 + b.glue_1;
+    glue_2 = a.glue_2 + b.glue_2;
+    glue_3_4 = a.glue_3_4 + b.glue_3_4;
+    glue_5_8 = a.glue_5_8 + b.glue_5_8;
+    glue_9_plus = a.glue_9_plus + b.glue_9_plus;
+  }
 
 type t = {
   mutable nvars : int;
@@ -31,6 +87,7 @@ type t = {
   mutable polarity : Bytes.t; (* saved phase: 1 = last assigned true *)
   mutable seen : Bytes.t;
   mutable watches : watcher Vec.Poly.t array; (* indexed by literal *)
+  mutable bin_watches : bwatcher Vec.Poly.t array; (* indexed by literal *)
   clauses : clause Vec.Poly.t;
   learnts : clause Vec.Poly.t;
   trail : Vec.Int.t;
@@ -48,10 +105,20 @@ type t = {
   mutable propagations : int;
   mutable restarts : int;
   mutable learnt_literals : int;
+  mutable minimized_lits : int;
+  mutable binary_propagations : int;
+  mutable subsumed_clauses : int;
+  mutable vivified_clauses : int;
+  mutable glue_hist : int array; (* buckets: 1, 2, 3-4, 5-8, >8 *)
+  mutable num_core : int; (* learnt clauses exempt from deletion *)
+  mutable mid_budget : float; (* mid-tier capacity, grows geometrically *)
   mutable max_learnts : float;
+  mutable lbd_stamp : int;
+  mutable lbd_mark : int array; (* per decision level, stamped *)
   mutable rng : Random.State.t;
   mutable assumptions : Lit.t array;
   analyze_toclear : Vec.Int.t;
+  analyze_stack : Vec.Int.t;
   mutable logging : bool;
   mutable proof_inputs : Lit.t array list; (* reversed *)
   mutable proof_steps : Proof.step list; (* reversed *)
@@ -65,6 +132,17 @@ type t = {
 let var_decay = 1.0 /. 0.95
 let cla_decay = 1.0 /. 0.999
 
+(* Tier boundaries and inprocessing budgets.  Core clauses (glue <= 2)
+   are kept forever; mid-tier clauses (glue <= [mid_lbd]) survive while
+   they fit a geometric budget; everything else is the local tier, halved
+   on every reduction.  Inprocessing runs every [inprocess_interval]
+   restarts under explicit work budgets (propagation counts, not wall
+   clock: the clock is never polled here). *)
+let mid_lbd = 6
+let inprocess_interval = 10
+let subsume_budget = 40_000
+let vivify_budget = 30_000
+
 let create () =
   {
     nvars = 0;
@@ -75,6 +153,7 @@ let create () =
     polarity = Bytes.create 0;
     seen = Bytes.create 0;
     watches = [||];
+    bin_watches = [||];
     clauses = Vec.Poly.create ();
     learnts = Vec.Poly.create ();
     trail = Vec.Int.create ();
@@ -92,10 +171,20 @@ let create () =
     propagations = 0;
     restarts = 0;
     learnt_literals = 0;
+    minimized_lits = 0;
+    binary_propagations = 0;
+    subsumed_clauses = 0;
+    vivified_clauses = 0;
+    glue_hist = Array.make 5 0;
+    num_core = 0;
+    mid_budget = 2000.0;
     max_learnts = 0.0;
+    lbd_stamp = 0;
+    lbd_mark = [||];
     rng = Random.State.make [| 91648253 |];
     assumptions = [||];
     analyze_toclear = Vec.Int.create ();
+    analyze_stack = Vec.Int.create ();
     logging = false;
     proof_inputs = [];
     proof_steps = [];
@@ -145,6 +234,15 @@ let stats s =
     restarts = s.restarts;
     learnt_literals = s.learnt_literals;
     clock_polls = s.clock_polls;
+    minimized_lits = s.minimized_lits;
+    binary_propagations = s.binary_propagations;
+    subsumed_clauses = s.subsumed_clauses;
+    vivified_clauses = s.vivified_clauses;
+    glue_1 = s.glue_hist.(0);
+    glue_2 = s.glue_hist.(1);
+    glue_3_4 = s.glue_hist.(2);
+    glue_5_8 = s.glue_hist.(3);
+    glue_9_plus = s.glue_hist.(4);
   }
 
 (* -- variable allocation ------------------------------------------------- *)
@@ -174,6 +272,7 @@ let new_var s =
   s.level <- grow_array s.level s.nvars 0;
   s.reason <- grow_array s.reason s.nvars None;
   s.activity <- grow_array s.activity s.nvars 0.0;
+  s.lbd_mark <- grow_array s.lbd_mark (s.nvars + 1) 0;
   if Array.length s.watches < 2 * s.nvars then begin
     let w = Array.init (max (2 * s.nvars) (2 * Array.length s.watches))
         (fun i ->
@@ -181,6 +280,15 @@ let new_var s =
           else Vec.Poly.create ())
     in
     s.watches <- w
+  end;
+  if Array.length s.bin_watches < 2 * s.nvars then begin
+    let w =
+      Array.init (max (2 * s.nvars) (2 * Array.length s.bin_watches))
+        (fun i ->
+          if i < Array.length s.bin_watches then s.bin_watches.(i)
+          else Vec.Poly.create ())
+    in
+    s.bin_watches <- w
   end;
   Heap.grow s.order s.nvars;
   Heap.push s.order v s.activity;
@@ -225,20 +333,77 @@ let cla_bump s c =
 
 let cla_decay_all s = s.cla_inc <- s.cla_inc *. cla_decay
 
+(* -- LBD ("glue") --------------------------------------------------------- *)
+
+(* Distinct decision levels among a clause's literals, stamped so no
+   clearing pass is needed.  Level-0 literals do not count. *)
+let lbd_of_array s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let count = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 && s.lbd_mark.(lv) <> stamp then begin
+        s.lbd_mark.(lv) <- stamp;
+        incr count
+      end)
+    lits;
+  max 1 !count
+
+let lbd_of_vec s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let count = ref 0 in
+  Vec.Int.iter
+    (fun l ->
+      let lv = s.level.(Lit.var l) in
+      if lv > 0 && s.lbd_mark.(lv) <> stamp then begin
+        s.lbd_mark.(lv) <- stamp;
+        incr count
+      end)
+    lits;
+  max 1 !count
+
+let glue_bucket lbd =
+  if lbd <= 1 then 0
+  else if lbd = 2 then 1
+  else if lbd <= 4 then 2
+  else if lbd <= 8 then 3
+  else 4
+
+(* A learnt clause is exempt from deletion: binary, or core glue. *)
+let is_core c = c.learnt && (Array.length c.lits = 2 || c.lbd <= 2)
+
 (* -- clause attachment --------------------------------------------------- *)
 
 let attach s c =
   assert (Array.length c.lits >= 2);
   let l0 = c.lits.(0) and l1 = c.lits.(1) in
-  Vec.Poly.push s.watches.(Lit.negate l0) { wclause = c; blocker = l1 };
-  Vec.Poly.push s.watches.(Lit.negate l1) { wclause = c; blocker = l0 }
+  if Array.length c.lits = 2 then begin
+    Vec.Poly.push s.bin_watches.(Lit.negate l0) { bother = l1; bclause = c };
+    Vec.Poly.push s.bin_watches.(Lit.negate l1) { bother = l0; bclause = c }
+  end
+  else begin
+    Vec.Poly.push s.watches.(Lit.negate l0) { wclause = c; blocker = l1 };
+    Vec.Poly.push s.watches.(Lit.negate l1) { wclause = c; blocker = l0 }
+  end
 
 let detach s c =
-  let remove l =
-    Vec.Poly.filter_in_place (fun w -> w.wclause != c) s.watches.(l)
-  in
-  remove (Lit.negate c.lits.(0));
-  remove (Lit.negate c.lits.(1))
+  if Array.length c.lits = 2 then begin
+    let remove l =
+      Vec.Poly.filter_in_place (fun w -> w.bclause != c) s.bin_watches.(l)
+    in
+    remove (Lit.negate c.lits.(0));
+    remove (Lit.negate c.lits.(1))
+  end
+  else begin
+    let remove l =
+      Vec.Poly.filter_in_place (fun w -> w.wclause != c) s.watches.(l)
+    in
+    remove (Lit.negate c.lits.(0));
+    remove (Lit.negate c.lits.(1))
+  end
 
 let locked s c =
   let l0 = c.lits.(0) in
@@ -248,6 +413,7 @@ let locked s c =
 let remove_clause s c =
   detach s c;
   c.deleted <- true;
+  if is_core c then s.num_core <- s.num_core - 1;
   if locked s c then s.reason.(Lit.var c.lits.(0)) <- None
 
 (* -- enqueue / backtrack ------------------------------------------------- *)
@@ -286,66 +452,92 @@ let propagate s =
     let p = Vec.Int.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
-    let ws = s.watches.(p) in
-    let i = ref 0 and j = ref 0 in
-    let n = Vec.Poly.size ws in
-    while !i < n do
-      let w = Vec.Poly.get ws !i in
-      if lit_value s w.blocker = 1 then begin
-        Vec.Poly.set ws !j w;
-        incr j;
-        incr i
-      end
-      else begin
-        let c = w.wclause in
-        if c.deleted then incr i (* dropped lazily; see remove_clause *)
+    (* binary clauses first: the other literal is inline, so nothing
+       beyond the watcher itself is touched on the satisfied path *)
+    let bws = s.bin_watches.(p) in
+    let bn = Vec.Poly.size bws in
+    let bi = ref 0 in
+    while !confl = None && !bi < bn do
+      let bw = Vec.Poly.get bws !bi in
+      (if not bw.bclause.deleted then
+         match lit_value s bw.bother with
+         | 1 -> ()
+         | -1 ->
+             confl := Some bw.bclause;
+             s.qhead <- Vec.Int.size s.trail
+         | _ ->
+             let c = bw.bclause in
+             (* conflict analysis expects the implied literal in slot 0 *)
+             if c.lits.(0) <> bw.bother then begin
+               c.lits.(0) <- bw.bother;
+               c.lits.(1) <- Lit.negate p
+             end;
+             s.binary_propagations <- s.binary_propagations + 1;
+             unchecked_enqueue s bw.bother (Some c));
+      incr bi
+    done;
+    if !confl = None then begin
+      let ws = s.watches.(p) in
+      let i = ref 0 and j = ref 0 in
+      let n = Vec.Poly.size ws in
+      while !i < n do
+        let w = Vec.Poly.get ws !i in
+        if lit_value s w.blocker = 1 then begin
+          Vec.Poly.set ws !j w;
+          incr j;
+          incr i
+        end
         else begin
-          let false_lit = Lit.negate p in
-          if c.lits.(0) = false_lit then begin
-            c.lits.(0) <- c.lits.(1);
-            c.lits.(1) <- false_lit
-          end;
-          incr i;
-          let first = c.lits.(0) in
-          let w' = { wclause = c; blocker = first } in
-          if first <> w.blocker && lit_value s first = 1 then begin
-            Vec.Poly.set ws !j w';
-            incr j
-          end
+          let c = w.wclause in
+          if c.deleted then incr i (* dropped lazily; see remove_clause *)
           else begin
-            (* search for a new literal to watch *)
-            let len = Array.length c.lits in
-            let k = ref 2 in
-            let found = ref false in
-            while (not !found) && !k < len do
-              if lit_value s c.lits.(!k) <> -1 then found := true
-              else incr k
-            done;
-            if !found then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- false_lit;
-              Vec.Poly.push s.watches.(Lit.negate c.lits.(1)) w'
+            let false_lit = Lit.negate p in
+            if c.lits.(0) = false_lit then begin
+              c.lits.(0) <- c.lits.(1);
+              c.lits.(1) <- false_lit
+            end;
+            incr i;
+            let first = c.lits.(0) in
+            let w' = { wclause = c; blocker = first } in
+            if first <> w.blocker && lit_value s first = 1 then begin
+              Vec.Poly.set ws !j w';
+              incr j
             end
             else begin
-              Vec.Poly.set ws !j w';
-              incr j;
-              if lit_value s first = -1 then begin
-                (* conflict: flush queue, keep remaining watchers *)
-                confl := Some c;
-                s.qhead <- Vec.Int.size s.trail;
-                while !i < n do
-                  Vec.Poly.set ws !j (Vec.Poly.get ws !i);
-                  incr j;
-                  incr i
-                done
+              (* search for a new literal to watch *)
+              let len = Array.length c.lits in
+              let k = ref 2 in
+              let found = ref false in
+              while (not !found) && !k < len do
+                if lit_value s c.lits.(!k) <> -1 then found := true
+                else incr k
+              done;
+              if !found then begin
+                c.lits.(1) <- c.lits.(!k);
+                c.lits.(!k) <- false_lit;
+                Vec.Poly.push s.watches.(Lit.negate c.lits.(1)) w'
               end
-              else unchecked_enqueue s first (Some c)
+              else begin
+                Vec.Poly.set ws !j w';
+                incr j;
+                if lit_value s first = -1 then begin
+                  (* conflict: flush queue, keep remaining watchers *)
+                  confl := Some c;
+                  s.qhead <- Vec.Int.size s.trail;
+                  while !i < n do
+                    Vec.Poly.set ws !j (Vec.Poly.get ws !i);
+                    incr j;
+                    incr i
+                  done
+                end
+                else unchecked_enqueue s first (Some c)
+              end
             end
           end
         end
-      end
-    done;
-    Vec.Poly.shrink ws !j
+      done;
+      Vec.Poly.shrink ws !j
+    end
   done;
   !confl
 
@@ -391,6 +583,7 @@ let add_clause s lits =
                 lits = Array.of_list lits;
                 learnt = false;
                 cact = 0.0;
+                lbd = 0;
                 deleted = false;
               }
             in
@@ -407,8 +600,9 @@ let seen_set s v b =
 
 (* A learnt literal is redundant if its reason clause exists and every other
    literal of that reason is already seen or assigned at level 0.  This is
-   MiniSat's "basic" (non-recursive) minimization. *)
-let lit_redundant s q =
+   MiniSat's "basic" (non-recursive) minimization, kept as the cheap
+   fallback for very large learnt clauses. *)
+let lit_redundant_basic s q =
   match s.reason.(Lit.var q) with
   | None -> false
   | Some c ->
@@ -420,6 +614,52 @@ let lit_redundant s q =
             ok := false)
         c.lits;
       !ok
+
+let abstract_level s v = 1 lsl (s.level.(v) land 31)
+
+(* MiniSat's recursive litRedundant: walk the implication graph below [q];
+   [q] is redundant if every path bottoms out in seen literals (i.e. other
+   learnt-clause literals) or level 0.  [abstract_levels] is a cheap
+   level-set filter that aborts paths leaving the clause's levels.  On
+   failure the speculative marks above [top] are rolled back. *)
+let lit_redundant_rec s q abstract_levels =
+  Vec.Int.clear s.analyze_stack;
+  Vec.Int.push s.analyze_stack q;
+  let top = Vec.Int.size s.analyze_toclear in
+  let ok = ref true in
+  while !ok && Vec.Int.size s.analyze_stack > 0 do
+    let p = Vec.Int.pop s.analyze_stack in
+    match s.reason.(Lit.var p) with
+    | None -> assert false (* only literals with reasons are pushed *)
+    | Some c ->
+        Array.iter
+          (fun r ->
+            let v = Lit.var r in
+            if
+              !ok && v <> Lit.var p
+              && (not (seen_get s v))
+              && s.level.(v) > 0
+            then begin
+              match s.reason.(v) with
+              | Some _ when abstract_level s v land abstract_levels <> 0 ->
+                  seen_set s v true;
+                  Vec.Int.push s.analyze_stack r;
+                  Vec.Int.push s.analyze_toclear v
+              | _ ->
+                  for j = top to Vec.Int.size s.analyze_toclear - 1 do
+                    seen_set s (Vec.Int.get s.analyze_toclear j) false
+                  done;
+                  Vec.Int.shrink s.analyze_toclear top;
+                  ok := false
+            end)
+          c.lits
+  done;
+  !ok
+
+(* Above this learnt-clause size the recursive minimization falls back to
+   the basic one-step check: the deep walk's worst case is quadratic in
+   practice only on huge clauses, which are poor clauses anyway. *)
+let deep_minimize_max = 30
 
 let analyze s confl =
   let out_learnt = Vec.Int.create () in
@@ -436,7 +676,19 @@ let analyze s confl =
       | Some c -> c
       | None -> assert false (* every visited literal has a reason here *)
     in
-    if c.learnt then cla_bump s c;
+    if c.learnt then begin
+      cla_bump s c;
+      (* update-on-use: a clause whose glue drops is promoted, possibly
+         into the permanent core tier *)
+      if c.lbd > 2 then begin
+        let nl = lbd_of_array s c.lits in
+        if nl < c.lbd then begin
+          if nl <= 2 && Array.length c.lits > 2 then
+            s.num_core <- s.num_core + 1;
+          c.lbd <- nl
+        end
+      end
+    end;
     Array.iter
       (fun q ->
         if q <> !p then begin
@@ -462,13 +714,30 @@ let analyze s confl =
     if !path_c <= 0 then continue := false
   done;
   Vec.Int.set out_learnt 0 (Lit.negate !p);
-  (* minimize: drop redundant non-asserting literals *)
+  (* minimize: drop redundant non-asserting literals, recursively up to
+     [deep_minimize_max] literals, with the basic check beyond *)
+  let abstract_levels = ref 0 in
+  for i = 1 to Vec.Int.size out_learnt - 1 do
+    abstract_levels :=
+      !abstract_levels
+      lor abstract_level s (Lit.var (Vec.Int.get out_learnt i))
+  done;
+  let deep = Vec.Int.size out_learnt <= deep_minimize_max in
   let minimized = Vec.Int.create () in
   Vec.Int.push minimized (Vec.Int.get out_learnt 0);
   for i = 1 to Vec.Int.size out_learnt - 1 do
     let q = Vec.Int.get out_learnt i in
-    if not (lit_redundant s q) then Vec.Int.push minimized q
+    let redundant =
+      match s.reason.(Lit.var q) with
+      | None -> false
+      | Some _ ->
+          if deep then lit_redundant_rec s q !abstract_levels
+          else lit_redundant_basic s q
+    in
+    if not redundant then Vec.Int.push minimized q
   done;
+  s.minimized_lits <-
+    s.minimized_lits + (Vec.Int.size out_learnt - Vec.Int.size minimized);
   (* compute backtrack level and move the max-level literal to slot 1 *)
   let bt_level =
     if Vec.Int.size minimized = 1 then 0
@@ -486,8 +755,10 @@ let analyze s confl =
       s.level.(Lit.var tmp)
     end
   in
+  (* glue is computed before backjumping, while levels are still live *)
+  let lbd = lbd_of_vec s minimized in
   Vec.Int.iter (fun v -> seen_set s v false) s.analyze_toclear;
-  (minimized, bt_level)
+  (minimized, bt_level, lbd)
 
 (* Which assumptions force the conflict when assumption [p] is already
    false: walk the implication graph rooted at p down to decisions. *)
@@ -516,34 +787,57 @@ let analyze_final s p =
 
 (* -- learnt database reduction ------------------------------------------- *)
 
-let reduce_db s =
-  (* Sort worst-first: long low-activity clauses lead, binary clauses
-     trail (they are never deleted). Delete the first half, plus any
-     long clause below the mean activity. *)
-  Vec.Poly.sort
-    (fun a b ->
-      let sa = Array.length a.lits and sb = Array.length b.lits in
-      if sa = 2 && sb = 2 then 0
-      else if sa = 2 then 1
-      else if sb = 2 then -1
-      else compare a.cact b.cact)
+let recount_core s =
+  let n = ref 0 in
+  Vec.Poly.iter (fun c -> if (not c.deleted) && is_core c then incr n)
     s.learnts;
-  let n = Vec.Poly.size s.learnts in
-  let extra_lim = s.cla_inc /. float_of_int (max n 1) in
+  s.num_core <- !n
+
+(* Three-tier reduction: binary and core-glue clauses are permanent; the
+   mid tier (glue <= mid_lbd) survives while it fits [mid_budget] (which
+   grows geometrically, so a useful mid tier is eventually kept whole);
+   overflow is demoted to the local tier, which loses its worse-activity
+   half on every reduction. *)
+let reduce_db s =
   let kept = Vec.Poly.create () in
-  let idx = ref 0 in
+  let mid = Vec.Poly.create () in
+  let local = Vec.Poly.create () in
+  let before = ref 0 in
   Vec.Poly.iter
     (fun c ->
-      let doomed =
-        Array.length c.lits > 2
-        && (not (locked s c))
-        && (2 * !idx < n || c.cact < extra_lim)
-      in
-      if doomed then remove_clause s c else Vec.Poly.push kept c;
-      incr idx)
+      if not c.deleted then begin
+        incr before;
+        if is_core c || locked s c then Vec.Poly.push kept c
+        else if c.lbd <= mid_lbd then Vec.Poly.push mid c
+        else Vec.Poly.push local c
+      end)
     s.learnts;
+  let budget = int_of_float s.mid_budget in
+  if Vec.Poly.size mid > budget then begin
+    Vec.Poly.sort
+      (fun a b ->
+        if a.lbd <> b.lbd then compare a.lbd b.lbd else compare b.cact a.cact)
+      mid;
+    for i = budget to Vec.Poly.size mid - 1 do
+      Vec.Poly.push local (Vec.Poly.get mid i)
+    done;
+    Vec.Poly.shrink mid budget
+  end;
+  Vec.Poly.iter (fun c -> Vec.Poly.push kept c) mid;
+  Vec.Poly.sort (fun a b -> compare a.cact b.cact) local;
+  let nloc = Vec.Poly.size local in
+  let drop = nloc / 2 in
+  for i = 0 to nloc - 1 do
+    let c = Vec.Poly.get local i in
+    if i < drop then remove_clause s c else Vec.Poly.push kept c
+  done;
   Vec.Poly.clear s.learnts;
-  Vec.Poly.iter (fun c -> Vec.Poly.push s.learnts c) kept
+  Vec.Poly.iter (fun c -> Vec.Poly.push s.learnts c) kept;
+  recount_core s;
+  s.mid_budget <- s.mid_budget *. 1.1;
+  (* the permanent tiers do not shrink: if this pass freed almost
+     nothing, raise the trigger so it does not fire again immediately *)
+  if 10 * drop < !before then s.max_learnts <- s.max_learnts *. 1.2
 
 let remove_satisfied s (db : clause Vec.Poly.t) =
   let sat c = Array.exists (fun l -> lit_value s l = 1) c.lits in
@@ -553,6 +847,164 @@ let remove_satisfied s (db : clause Vec.Poly.t) =
     db;
   Vec.Poly.clear db;
   Vec.Poly.iter (fun c -> Vec.Poly.push db c) kept
+
+(* -- inprocessing --------------------------------------------------------- *)
+
+(* Backward subsumption over the learnt database: a clause deletes every
+   live learnt superset of itself.  Signatures prune most candidate pairs;
+   the scan walks the occurrence list of the rarest literal.  Deletions
+   need no proof step (the checker never deletes), and the budget counts
+   literal comparisons, so no clock is involved. *)
+let backward_subsume s =
+  let cls =
+    Array.of_list
+      (List.filter (fun c -> not c.deleted) (Vec.Poly.to_list s.learnts))
+  in
+  let ncls = Array.length cls in
+  if ncls > 1 then begin
+    let signature c =
+      Array.fold_left (fun acc l -> acc lor (1 lsl (l mod 62))) 0 c.lits
+    in
+    let sigs = Array.map signature cls in
+    let occ = Array.make (2 * s.nvars) [] in
+    Array.iteri
+      (fun i c -> Array.iter (fun l -> occ.(l) <- i :: occ.(l)) c.lits)
+      cls;
+    let order = Array.init ncls Fun.id in
+    Array.sort
+      (fun a b -> compare (Array.length cls.(a).lits) (Array.length cls.(b).lits))
+      order;
+    let budget = ref subsume_budget in
+    let subset small big =
+      Array.for_all
+        (fun l -> Array.exists (fun l' -> l' = l) big.lits)
+        small.lits
+    in
+    Array.iter
+      (fun ci ->
+        let c = cls.(ci) in
+        if (not c.deleted) && Array.length c.lits <= 16 && !budget > 0 then begin
+          let min_lit = ref c.lits.(0) in
+          Array.iter
+            (fun l ->
+              if List.length occ.(l) < List.length occ.(!min_lit) then
+                min_lit := l)
+            c.lits;
+          List.iter
+            (fun di ->
+              let d = cls.(di) in
+              if
+                di <> ci && (not d.deleted) && !budget > 0
+                && Array.length d.lits >= Array.length c.lits
+                && sigs.(ci) land lnot sigs.(di) = 0
+              then begin
+                budget := !budget - Array.length d.lits - Array.length c.lits;
+                if subset c d && not (locked s d) then begin
+                  remove_clause s d;
+                  s.subsumed_clauses <- s.subsumed_clauses + 1
+                end
+              end)
+            occ.(!min_lit)
+        end)
+      order
+  end
+
+(* Vivify one learnt clause (already detached, level 0): assume the
+   negation of each literal in turn; a conflict, an implied-true literal,
+   or an implied-false literal all shorten the clause.  The shortened
+   clause is reverse-unit-propagation derivable from the rest of the
+   database, so it is logged like any learnt clause. *)
+type vivify_outcome = V_unchanged | V_shortened of Lit.t list | V_satisfied
+
+let vivify_clause s c =
+  new_decision_level s;
+  let kept = ref [] in
+  let nkept = ref 0 in
+  let stop = ref false in
+  let satisfied = ref false in
+  let len = Array.length c.lits in
+  let i = ref 0 in
+  while (not !stop) && !i < len do
+    let l = c.lits.(!i) in
+    (match lit_value s l with
+    | 1 ->
+        if s.level.(Lit.var l) = 0 then begin
+          satisfied := true;
+          stop := true
+        end
+        else begin
+          (* implied true by the assumed prefix: clause = prefix + l *)
+          kept := l :: !kept;
+          incr nkept;
+          stop := true
+        end
+    | -1 -> () (* implied false: literal is redundant, drop it *)
+    | _ ->
+        kept := l :: !kept;
+        incr nkept;
+        unchecked_enqueue s (Lit.negate l) None;
+        if propagate s <> None then stop := true (* clause = prefix *));
+    incr i
+  done;
+  cancel_until s 0;
+  if !satisfied then V_satisfied
+  else if !nkept = len then V_unchanged
+  else V_shortened (List.rev !kept)
+
+let vivify s =
+  let start_props = s.propagations in
+  let n = Vec.Poly.size s.learnts in
+  let idx = ref 0 in
+  while !idx < n && s.ok && s.propagations - start_props < vivify_budget do
+    let c = Vec.Poly.get s.learnts !idx in
+    if
+      (not c.deleted)
+      && Array.length c.lits >= 3
+      && Array.length c.lits <= 30
+      && c.lbd > 2
+      && not (locked s c)
+    then begin
+      detach s c;
+      match vivify_clause s c with
+      | V_unchanged -> attach s c
+      | V_satisfied -> c.deleted <- true
+      | V_shortened lits -> (
+          s.vivified_clauses <- s.vivified_clauses + 1;
+          log_learn s (Array.of_list lits);
+          match lits with
+          | [] ->
+              c.deleted <- true;
+              s.ok <- false;
+              log_learn s [||]
+          | [ l ] -> (
+              c.deleted <- true;
+              match lit_value s l with
+              | 1 -> ()
+              | -1 ->
+                  s.ok <- false;
+                  log_learn s [||]
+              | _ ->
+                  unchecked_enqueue s l None;
+                  if propagate s <> None then begin
+                    s.ok <- false;
+                    log_learn s [||]
+                  end)
+          | _ ->
+              c.lits <- Array.of_list lits;
+              c.lbd <- min c.lbd (Array.length c.lits);
+              attach s c)
+    end;
+    incr idx
+  done
+
+(* One restart-boundary inprocessing pass, at decision level 0. *)
+let inprocess s =
+  if s.ok then begin
+    backward_subsume s;
+    if s.ok then vivify s;
+    Vec.Poly.filter_in_place (fun c -> not c.deleted) s.learnts;
+    recount_core s
+  end
 
 (* -- branching ----------------------------------------------------------- *)
 
@@ -564,13 +1016,22 @@ let pick_branch_var s =
   done;
   !v
 
+(* -- phase seeding ------------------------------------------------------- *)
+
+let set_phase s v b =
+  if v >= 0 && v < s.nvars then
+    Bytes.unsafe_set s.polarity v (if b then '\001' else '\000')
+
+let suggest_model s m =
+  Array.iteri (fun v b -> if v < s.nvars then set_phase s v b) m
+
 (* -- invariant sanitizer -------------------------------------------------- *)
 
 (* Audit the solver's core data-structure invariants: trail/level
-   consistency, two-watched-literal bookkeeping, and VSIDS heap
-   well-formedness.  Pure inspection — never mutates, safe to call at any
-   decision level.  Returns (area, message) pairs where area is one of
-   "trail", "watch", "heap". *)
+   consistency, two-watched-literal bookkeeping (long and binary lists),
+   and VSIDS heap well-formedness.  Pure inspection — never mutates, safe
+   to call at any decision level.  Returns (area, message) pairs where
+   area is one of "trail", "watch", "heap". *)
 let check_invariants s =
   let issues = ref [] in
   let issue area fmt =
@@ -616,7 +1077,7 @@ let check_invariants s =
     if var_value s v <> 0 && Bytes.get on_trail v <> '\001' then
       issue "trail" "variable %d is assigned but absent from the trail" v
   done;
-  (* two-watched-literal bookkeeping *)
+  (* two-watched-literal bookkeeping, long and binary lists separately *)
   let watcher_total = ref 0 in
   Array.iteri
     (fun l ws ->
@@ -625,8 +1086,8 @@ let check_invariants s =
           if not w.wclause.deleted then begin
             incr watcher_total;
             let c = w.wclause in
-            if Array.length c.lits < 2 then
-              issue "watch" "watched clause with fewer than 2 literals"
+            if Array.length c.lits < 3 then
+              issue "watch" "binary or unit clause on a long watch list"
             else begin
               let fl = Lit.negate l in
               if c.lits.(0) <> fl && c.lits.(1) <> fl then
@@ -638,22 +1099,51 @@ let check_invariants s =
           end)
         ws)
     s.watches;
-  let live = ref 0 in
+  let bin_total = ref 0 in
+  Array.iteri
+    (fun l bws ->
+      Vec.Poly.iter
+        (fun bw ->
+          if not bw.bclause.deleted then begin
+            incr bin_total;
+            let c = bw.bclause in
+            if Array.length c.lits <> 2 then
+              issue "watch" "non-binary clause on a binary watch list"
+            else begin
+              let fl = Lit.negate l in
+              let consistent =
+                (c.lits.(0) = fl && c.lits.(1) = bw.bother)
+                || (c.lits.(1) = fl && c.lits.(0) = bw.bother)
+              in
+              if not consistent then
+                issue "watch"
+                  "binary watcher of literal %d disagrees with its clause"
+                  (Lit.to_int l)
+            end
+          end)
+        bws)
+    s.bin_watches;
+  let live_long = ref 0 and live_bin = ref 0 in
   let count_db db =
     Vec.Poly.iter
       (fun c ->
         if not c.deleted then begin
           if Array.length c.lits < 2 then
-            issue "watch" "stored clause with fewer than 2 literals";
-          incr live
+            issue "watch" "stored clause with fewer than 2 literals"
+          else if Array.length c.lits = 2 then incr live_bin
+          else incr live_long
         end)
       db
   in
   count_db s.clauses;
   count_db s.learnts;
-  if !watcher_total <> 2 * !live then
-    issue "watch" "%d live watchers for %d live clauses (expected %d)"
-      !watcher_total !live (2 * !live);
+  if !watcher_total <> 2 * !live_long then
+    issue "watch" "%d live long watchers for %d live long clauses (expected %d)"
+      !watcher_total !live_long (2 * !live_long);
+  if !bin_total <> 2 * !live_bin then
+    issue "watch"
+      "%d live binary watchers for %d live binary clauses (expected %d)"
+      !bin_total !live_bin (2 * !live_bin);
   (* VSIDS heap *)
   List.iter
     (fun m -> issues := ("heap", m) :: !issues)
@@ -734,10 +1224,11 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
             log_learn s [||];
             raise (Result Unsat)
           end;
-          let learnt, bt_level = analyze s (Some confl) in
+          let learnt, bt_level, lbd = analyze s (Some confl) in
           log_learn s (Vec.Int.to_array learnt);
           cancel_until s bt_level;
           s.learnt_literals <- s.learnt_literals + Vec.Int.size learnt;
+          s.glue_hist.(glue_bucket lbd) <- s.glue_hist.(glue_bucket lbd) + 1;
           (if Vec.Int.size learnt = 1 then
              unchecked_enqueue s (Vec.Int.get learnt 0) None
            else begin
@@ -746,10 +1237,12 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
                  lits = Vec.Int.to_array learnt;
                  learnt = true;
                  cact = 0.0;
+                 lbd;
                  deleted = false;
                }
              in
              Vec.Poly.push s.learnts c;
+             if is_core c then s.num_core <- s.num_core + 1;
              attach s c;
              cla_bump s c;
              unchecked_enqueue s (Vec.Int.get learnt 0) (Some c)
@@ -763,7 +1256,7 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
             raise Restart;
           if decision_level s = 0 then remove_satisfied s s.learnts;
           if
-            float_of_int (Vec.Poly.size s.learnts)
+            float_of_int (Vec.Poly.size s.learnts - s.num_core)
             -. float_of_int (Vec.Int.size s.trail)
             >= s.max_learnts
           then reduce_db s;
@@ -859,7 +1352,14 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
               finished := true
             end);
         s.max_learnts <- s.max_learnts *. 1.05;
-        incr restarts
+        incr restarts;
+        if (not !finished) && !restarts mod inprocess_interval = 0 then begin
+          inprocess s;
+          if not s.ok then begin
+            result := Unsat;
+            finished := true
+          end
+        end
       done;
       cancel_until s 0;
       sanitize_check s;
@@ -895,6 +1395,14 @@ module Testing = struct
           found := true
         end)
       s.watches;
+    if not !found then
+      Array.iter
+        (fun bws ->
+          if (not !found) && Vec.Poly.size bws > 0 then begin
+            Vec.Poly.shrink bws (Vec.Poly.size bws - 1);
+            found := true
+          end)
+        s.bin_watches;
     !found
 
   let corrupt_trail s =
@@ -918,4 +1426,8 @@ module Testing = struct
       | [] -> false
     end
     else false
+
+  let inprocess s =
+    cancel_until s 0;
+    inprocess s
 end

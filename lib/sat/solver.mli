@@ -71,9 +71,41 @@ type stats = {
           checks are memoized: the clock is polled at most once per 64
           conflicts (plus once at each [solve] entry), so this stays a
           tiny fraction of [conflicts]. *)
+  minimized_lits : int;
+      (** Literals dropped from learnt clauses by the recursive (or
+          fallback basic) conflict-clause minimization. *)
+  binary_propagations : int;
+      (** Implications produced by the inline binary watch lists. *)
+  subsumed_clauses : int;
+      (** Learnt clauses deleted by inprocessing backward subsumption. *)
+  vivified_clauses : int;
+      (** Learnt clauses shortened by inprocessing vivification. *)
+  glue_1 : int;  (** Learnt clauses with LBD 1 (at learn time). *)
+  glue_2 : int;  (** LBD exactly 2 — with bucket 1, the permanent core. *)
+  glue_3_4 : int;  (** LBD 3–4. *)
+  glue_5_8 : int;  (** LBD 5–8. *)
+  glue_9_plus : int;  (** LBD above 8 — the aggressively reduced tail. *)
 }
 
 val stats : t -> stats
+
+val zero_stats : stats
+(** All-zero statistics — the unit of {!add_stats}. *)
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum, for aggregating over several solver instances (e.g.
+    the mapper's candidate fan-out). *)
+
+val set_phase : t -> int -> bool -> unit
+(** [set_phase s v b] seeds variable [v]'s saved phase: the next time the
+    search branches on [v] it will try [b] first.  Out-of-range variables
+    are ignored.  Phases only steer the search order — they never affect
+    soundness or completeness. *)
+
+val suggest_model : t -> bool array -> unit
+(** Seed every variable's phase from a (partial) model, indexed by
+    variable — the warm-start hook: hand the search a heuristic solution
+    and it will descend towards it first.  Extra entries are ignored. *)
 
 val set_stop : t -> bool Atomic.t option -> unit
 (** Install (or clear, with [None]) an external stop flag.  The flag is
@@ -135,4 +167,10 @@ module Testing : sig
   val corrupt_heap : t -> bool
   (** Inflate a leaf variable's activity without restoring heap order
       (needs at least two heap members). *)
+
+  val inprocess : t -> unit
+  (** Run one inprocessing pass (backward subsumption + vivification over
+      the learnt database) right now, at decision level 0.  The search
+      triggers the same pass at restart boundaries; this hook exists so
+      tests can exercise it deterministically on a prepared solver. *)
 end

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "ibm_qx_mapping"
     [
       ("sat", Test_sat.suite);
+      ("solver_perf", Test_solver_perf.suite);
       ("encode", Test_encode.suite);
       ("opt", Test_opt.suite);
       ("circuit", Test_circuit.suite);

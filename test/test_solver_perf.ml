@@ -1,0 +1,225 @@
+(* Tests for the solver-core performance layer: clause-tier management,
+   learned-clause minimization, inprocessing (backward subsumption +
+   vivification), and heuristic warm starts.
+
+   The properties here are about *preservation*: none of the machinery
+   that deletes, shortens, or reorders clauses may change which formulas
+   are satisfiable or which models are acceptable, and none of the
+   phase-seeding hooks may change which cost is optimal. *)
+
+open Test_util
+module Lit = Qxm_sat.Lit
+module Solver = Qxm_sat.Solver
+module Cnf = Qxm_encode.Cnf
+module Minimize = Qxm_opt.Minimize
+
+let add_all s clauses = List.iter (Solver.add_clause s) clauses
+
+(* Pigeonhole principle with [holes] holes: unsatisfiable, and hard
+   enough to generate conflicts, restarts, learned clauses of every glue
+   bucket, and minimization work. *)
+let pigeonhole s holes =
+  let v p h = Lit.pos ((p * holes) + h) in
+  for _ = 1 to (holes + 1) * holes do
+    ignore (Solver.new_var s)
+  done;
+  for p = 0 to holes do
+    Solver.add_clause s (List.init holes (fun h -> v p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to holes do
+      for p2 = p1 + 1 to holes do
+        Solver.add_clause s [ Lit.negate (v p1 h); Lit.negate (v p2 h) ]
+      done
+    done
+  done
+
+(* -- preservation properties --------------------------------------------- *)
+
+(* Solving, inprocessing the learned database, and solving again must
+   agree with brute force at every step — subsumption and vivification
+   only ever delete or shorten learned clauses that are logically
+   entailed, so satisfiability and model validity are invariant. *)
+let test_inprocess_preserves_sat =
+  qtest ~count:300 "inprocessing preserves satisfiability"
+    (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:4)
+    (fun (nvars, clauses) ->
+      let s = solver_with nvars in
+      add_all s clauses;
+      let expected = brute_sat nvars clauses in
+      let first = Solver.solve s in
+      Solver.Testing.inprocess s;
+      let second = Solver.solve s in
+      match (first, second, expected) with
+      | Solver.Sat, Solver.Sat, true ->
+          model_satisfies clauses (Solver.model s)
+      | Solver.Unsat, Solver.Unsat, false -> true
+      | _ -> false)
+
+(* The same, but with an extra inprocessing pass in between incremental
+   clause additions: the rebuilt watch lists (including the inline
+   binary lists) must stay consistent with clauses learned before. *)
+let test_inprocess_incremental =
+  qtest ~count:200 "inprocessing between incremental solves"
+    QCheck2.Gen.(
+      pair
+        (cnf_gen ~max_vars:7 ~max_clauses:20 ~max_len:4)
+        (cnf_gen ~max_vars:7 ~max_clauses:10 ~max_len:3))
+    (fun ((nvars1, clauses1), (nvars2, clauses2)) ->
+      let nvars = max nvars1 nvars2 in
+      let s = solver_with nvars in
+      add_all s clauses1;
+      let r1 = Solver.solve s in
+      Solver.Testing.inprocess s;
+      add_all s clauses2;
+      let all = clauses1 @ clauses2 in
+      let r2 = Solver.solve s in
+      let expected2 = brute_sat nvars all in
+      (r1 = Solver.Unsat || r1 = Solver.Sat)
+      &&
+      match (r2, expected2) with
+      | Solver.Sat, true -> model_satisfies all (Solver.model s)
+      | Solver.Unsat, false -> true
+      | _ -> false)
+
+(* Phase seeding must never change the answer, only the search path:
+   seeding with a brute-forced model (when one exists) or with
+   adversarially flipped phases still yields the brute-force verdict. *)
+let test_phases_preserve_answer =
+  qtest ~count:300 "suggest_model/set_phase preserve the answer"
+    QCheck2.Gen.(pair (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:4) bool)
+    (fun ((nvars, clauses), invert) ->
+      let s = solver_with nvars in
+      add_all s clauses;
+      let seed = Array.make nvars invert in
+      Solver.suggest_model s seed;
+      Solver.set_phase s 0 (not invert);
+      let expected = brute_sat nvars clauses in
+      match Solver.solve s with
+      | Solver.Sat -> expected && model_satisfies clauses (Solver.model s)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+(* -- determinism ---------------------------------------------------------- *)
+
+(* Identical input must produce bit-identical statistics: the tiered
+   reduction, minimization, and inprocessing layers contain no hidden
+   nondeterminism (no randomness, no clock dependence without a
+   deadline). *)
+let test_deterministic_stats () =
+  let run () =
+    let s = Solver.create () in
+    pigeonhole s 5;
+    let r = Solver.solve s in
+    Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+    Solver.stats s
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical stats" true (a = b)
+
+(* The hard instance must actually exercise the new machinery. *)
+let test_counters_fire () =
+  let s = Solver.create () in
+  pigeonhole s 5;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts" true (st.conflicts > 0);
+  Alcotest.(check bool) "glue histogram populated" true
+    (st.glue_1 + st.glue_2 + st.glue_3_4 + st.glue_5_8 + st.glue_9_plus > 0);
+  Alcotest.(check bool) "binary watch propagations" true
+    (st.binary_propagations > 0);
+  Alcotest.(check bool) "minimization fired" true (st.minimized_lits > 0)
+
+let test_stats_sum () =
+  let s = Solver.create () in
+  pigeonhole s 4;
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  let sum = Solver.add_stats st Solver.zero_stats in
+  Alcotest.(check bool) "zero is the unit" true (sum = st);
+  let twice = Solver.add_stats st st in
+  Alcotest.(check int) "field-wise sum" (2 * st.conflicts) twice.conflicts
+
+(* -- warm starts ---------------------------------------------------------- *)
+
+let warm_objective_gen =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 7 in
+    let* nclauses = int_range 0 20 in
+    let clause =
+      list_size (int_range 1 3)
+        (let* v = int_range 0 (nvars - 1) in
+         let* s = bool in
+         return (Lit.make v s))
+    in
+    let* clauses = list_size (return nclauses) clause in
+    let* weights = list_size (return nvars) (int_range 1 9) in
+    let objective = List.mapi (fun v w -> (w, Lit.pos v)) weights in
+    return (nvars, clauses, objective))
+
+(* Seeding the optimizer with an optimal model (phases + upper bound, as
+   the mapper's SABRE warm start does) must reach the same optimum and
+   never take more solver calls than the cold run. *)
+let test_warm_start_optimum =
+  qtest ~count:200 "warm start: same optimum, no more solves"
+    warm_objective_gen
+    (fun (nvars, clauses, objective) ->
+      match brute_min nvars clauses objective with
+      | None -> true (* unsat instances carry no warm start *)
+      | Some expected ->
+          (* brute-force one witness achieving the optimum *)
+          let witness = ref None in
+          let assign = Array.make nvars false in
+          let rec go i =
+            if !witness <> None then ()
+            else if i = nvars then begin
+              if
+                eval_clauses clauses (fun v -> assign.(v))
+                && Minimize.cost_of_model objective assign = expected
+              then witness := Some (Array.copy assign)
+            end
+            else begin
+              assign.(i) <- false;
+              go (i + 1);
+              assign.(i) <- true;
+              go (i + 1)
+            end
+          in
+          go 0;
+          let witness = Option.get !witness in
+          let cold =
+            let s = solver_with nvars in
+            let cnf = Cnf.create s in
+            List.iter (Cnf.add cnf) clauses;
+            Minimize.minimize ~cnf ~objective ()
+          in
+          let warm =
+            let s = solver_with nvars in
+            let cnf = Cnf.create s in
+            List.iter (Cnf.add cnf) clauses;
+            Minimize.minimize ~cnf ~objective ~upper_bound:expected
+              ~warm_start:witness ()
+          in
+          warm.optimal
+          && warm.cost = Some expected
+          && cold.cost = Some expected
+          && warm.solves <= cold.solves
+          &&
+          match warm.model with
+          | Some m ->
+              eval_clauses clauses (fun v -> m.(v))
+              && Minimize.cost_of_model objective m = expected
+          | None -> false)
+
+let suite =
+  [
+    test_inprocess_preserves_sat;
+    test_inprocess_incremental;
+    test_phases_preserve_answer;
+    Alcotest.test_case "stats: deterministic across identical runs" `Quick
+      test_deterministic_stats;
+    Alcotest.test_case "stats: new counters fire on a hard instance" `Quick
+      test_counters_fire;
+    Alcotest.test_case "stats: zero/add algebra" `Quick test_stats_sum;
+    test_warm_start_optimum;
+  ]
