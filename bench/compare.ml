@@ -28,7 +28,12 @@ type row = {
   wall_s : float;
   optimal : bool;
   failed : bool;
+  stages : (string * float) list;
+      (* per-stage wall seconds ("stage_<name>_s" fields), used to
+         attribute a wall-time regression to the stage that grew *)
 }
+
+let stage_names = [ "encode"; "warm_start"; "solve"; "reconstruct"; "verify" ]
 
 let find_field line key =
   let probe = Printf.sprintf "\"%s\": " key in
@@ -83,6 +88,17 @@ let parse_file path =
                wall_s;
                optimal = find_field line "optimal" = Some "true";
                failed = find_field line "failed" = Some "true";
+               stages =
+                 List.filter_map
+                   (fun name ->
+                     Option.bind
+                       (find_field line
+                          (Printf.sprintf "stage_%s_s" name))
+                       (fun v ->
+                         Option.map
+                           (fun s -> (name, s))
+                           (float_of_string_opt v)))
+                   stage_names;
              }
              :: !rows
        | _ -> ()
@@ -129,11 +145,31 @@ let () =
             fail "REGRESSED  %-24s optimal flipped true -> false\n" tag
         | Some f ->
             let allowed = (base.wall_s *. 1.25) +. 0.25 in
-            if f.wall_s > allowed then
+            if f.wall_s > allowed then begin
               fail
                 "REGRESSED  %-24s wall %.3fs > allowed %.3fs (baseline \
                  %.3fs)\n"
-                tag f.wall_s allowed base.wall_s
+                tag f.wall_s allowed base.wall_s;
+              (* attribute the regression: the stage whose time grew the
+                 most over the baseline (when both runs carry the
+                 per-stage breakdown) *)
+              let growth =
+                List.filter_map
+                  (fun (name, fs) ->
+                    Option.map
+                      (fun bs -> (name, fs -. bs))
+                      (List.assoc_opt name base.stages))
+                  f.stages
+              in
+              match
+                List.sort (fun (_, a) (_, b) -> compare b a) growth
+              with
+              | (stage, d) :: _ when d > 0.0 ->
+                  Printf.printf
+                    "           %-24s biggest stage growth: %s (+%.3fs)\n" tag
+                    stage d
+              | _ -> ()
+            end
             else
               Printf.printf "ok         %-24s %.3fs (baseline %.3fs)\n" tag
                 f.wall_s base.wall_s)

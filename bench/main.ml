@@ -117,31 +117,46 @@ let emit_json file =
             }
           in
           let t0 = Unix.gettimeofday () in
+          (* strategy and seed are recorded as actually used (after
+             defaulting), not as requested, so a record is sufficient to
+             reproduce its own run *)
           let common wall rest =
             Printf.sprintf
               "  {\"suite\": \"quick\", \"benchmark\": \"%s\", \"device\": \
-               \"qx4\", \"strategy\": \"minimal\", \"jobs\": %d, \"wall_s\": \
-               %.3f, %s}"
-              e.name jobs wall rest
+               \"qx4\", \"strategy\": \"%s\", \"seed\": %d, \"jobs\": %d, \
+               \"wall_s\": %.3f, %s}"
+              e.name
+              (Strategy.name options.strategy)
+              options.seed jobs wall rest
           in
           let record =
             match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
             | Ok r ->
                 let st = r.sat_stats in
+                (* flat per-stage wall-clock fields so compare.ml's
+                   line-based parser can attribute a regression to the
+                   stage that grew *)
+                let stage_fields =
+                  String.concat ", "
+                    (List.map
+                       (fun (name, s) ->
+                         Printf.sprintf "\"stage_%s_s\": %.3f" name s)
+                       r.phase_seconds)
+                in
                 common
                   (Unix.gettimeofday () -. t0)
                   (Printf.sprintf
                      "\"total_gates\": %d, \"f_cost\": %d, \
                       \"objective_cost\": %d, \"optimal\": %b, \"verified\": \
                       %s, \"solves\": %d, \"workers\": %d, \
-                      \"pruned_by_incumbent\": %d, \"conflicts\": %d, \
+                      \"pruned_by_incumbent\": %d, %s, \"conflicts\": %d, \
                       \"propagations\": %d, \"binary_propagations\": %d, \
                       \"minimized_lits\": %d, \"subsumed_clauses\": %d, \
                       \"vivified_clauses\": %d, \"glue\": [%d, %d, %d, %d, \
                       %d]"
                      r.total_gates r.f_cost r.objective_cost r.optimal
                      (verified_json r.verified) r.solves r.workers
-                     r.pruned_by_incumbent st.Solver.conflicts
+                     r.pruned_by_incumbent stage_fields st.Solver.conflicts
                      st.Solver.propagations st.Solver.binary_propagations
                      st.Solver.minimized_lits st.Solver.subsumed_clauses
                      st.Solver.vivified_clauses st.Solver.glue_1

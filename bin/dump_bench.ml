@@ -1,0 +1,22 @@
+(* Export a Table-1 suite benchmark as OpenQASM.
+
+   The 25 benchmarks are reconstructed in-process by [Qxm_benchmarks.Suite]
+   rather than shipped as files; this utility materializes one of them so
+   file-based tools (qxmap, the CI trace run) can consume it.
+
+   usage: dump_bench NAME OUT.qasm        (dump_bench --list to enumerate) *)
+
+let () =
+  match Sys.argv with
+  | [| _; "--list" |] ->
+      List.iter print_endline Qxm_benchmarks.Suite.names
+  | [| _; name; out |] -> (
+      match Qxm_benchmarks.Suite.by_name name with
+      | Some e -> Qxm_circuit.Qasm.write_file out e.circuit
+      | None ->
+          Printf.eprintf
+            "dump_bench: unknown benchmark %S (try --list)\n" name;
+          exit 1)
+  | _ ->
+      prerr_endline "usage: dump_bench NAME OUT.qasm | dump_bench --list";
+      exit 2

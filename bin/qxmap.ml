@@ -25,6 +25,8 @@ module Suite = Qxm_benchmarks.Suite
 module Diagnostic = Qxm_lint.Diagnostic
 module Circuit_lint = Qxm_lint.Circuit_lint
 module Cnf_lint = Qxm_lint.Cnf_lint
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
 
 let device_conv =
   let parse s =
@@ -101,6 +103,151 @@ let print_sat_stats (s : Solver.stats) =
     s.conflicts s.decisions s.propagations s.binary_propagations s.restarts
     s.glue_1 s.glue_2 s.glue_3_4 s.glue_5_8 s.glue_9_plus s.minimized_lits
     s.subsumed_clauses s.vivified_clauses
+
+(* -- machine-readable report ---------------------------------------------- *)
+
+(* Minimal JSON construction.  Everything qxmap prints on stdout in
+   --json mode is exactly one object built from these, so
+   `qxmap map --json … | jq` always parses: all human-facing summaries,
+   progress lines and diagnostics go to stderr. *)
+module Json = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let str s = Printf.sprintf "\"%s\"" (escape s)
+  let int = string_of_int
+  let float f = Printf.sprintf "%.6f" f
+  let bool = string_of_bool
+
+  let opt f = function None -> "null" | Some v -> f v
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+
+  let obj fields =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) v) fields)
+    ^ "}"
+end
+
+let json_sat_stats stats =
+  Json.obj
+    (List.map (fun (k, v) -> (k, Json.int v)) (Solver.stats_counters stats))
+
+let json_trajectory traj =
+  Json.arr
+    (List.map
+       (fun (t, c) -> Json.arr [ Json.float t; Json.int c ])
+       traj)
+
+(* The common tail of both report shapes: QASM inline unless it went to
+   a file. *)
+let json_payload ~output elementary =
+  match output with
+  | Some path -> [ ("output", Json.str path) ]
+  | None -> [ ("qasm", Json.str (Qasm.to_string elementary)) ]
+
+let mapper_json ~input ~output (r : Mapper.report) =
+  Json.obj
+    ([
+       ("mode", Json.str "exact");
+       ("input", Json.str input);
+       ("strategy", Json.str r.strategy_name);
+       ("seed", Json.int r.seed);
+       ("f_cost", Json.int r.f_cost);
+       ("objective_cost", Json.int r.objective_cost);
+       ("total_gates", Json.int r.total_gates);
+       ("optimal", Json.bool r.optimal);
+       ("verified", Json.opt Json.bool r.verified);
+       ("runtime_s", Json.float r.runtime);
+       ("solves", Json.int r.solves);
+       ("subsets_tried", Json.int r.subsets_tried);
+       ("workers", Json.int r.workers);
+       ("pruned_by_incumbent", Json.int r.pruned_by_incumbent);
+       ("trajectory", json_trajectory r.trajectory);
+       ( "phase_seconds",
+         Json.obj
+           (List.map (fun (k, v) -> (k, Json.float v)) r.phase_seconds) );
+       ("sat_stats", json_sat_stats r.sat_stats);
+     ]
+    @ json_payload ~output r.elementary)
+
+let portfolio_json ~input ~output (r : Portfolio.report) =
+  Json.obj
+    ([
+       ("mode", Json.str "portfolio");
+       ("input", Json.str input);
+       ("strategy", Json.str r.strategy_name);
+       ("seed", Json.int r.seed);
+       ("f_cost", Json.int r.f_cost);
+       ("total_gates", Json.int r.total_gates);
+       ("provenance", Json.str (Portfolio.provenance_string r.provenance));
+       ("optimal", Json.bool r.optimal);
+       ("verified", Json.opt Json.bool r.verified);
+       ("runtime_s", Json.float r.runtime);
+       ("solves", Json.int r.solves);
+       ( "stages",
+         Json.arr
+           (List.map
+              (fun (s : Portfolio.stage) ->
+                Json.obj
+                  [
+                    ("stage", Json.str s.stage);
+                    ("spent_s", Json.float s.spent);
+                    ("solves", Json.int s.solves);
+                    ("outcome", Json.str s.outcome);
+                  ])
+              r.stages) );
+       ("trajectory", json_trajectory r.trajectory);
+       ("sat_stats", json_sat_stats r.sat_stats);
+     ]
+    @ json_payload ~output r.elementary)
+
+(* -- live progress -------------------------------------------------------- *)
+
+(* One carriage-returned status line on stderr, refreshed at most ~10×
+   a second.  Fired concurrently from solver domains, hence the lock;
+   conflicts/s is measured between consecutive printed samples. *)
+let make_progress_printer () =
+  let lock = Mutex.create () in
+  let last_print = ref 0.0 in
+  let last_conflicts = ref 0 in
+  let printed = ref false in
+  let on_progress (p : Mapper.progress) =
+    Mutex.lock lock;
+    let now = Unix.gettimeofday () in
+    if now -. !last_print >= 0.1 then begin
+      let rate =
+        if !last_print > 0.0 && now > !last_print then
+          float_of_int (p.p_conflicts - !last_conflicts)
+          /. (now -. !last_print)
+        else 0.0
+      in
+      last_print := now;
+      last_conflicts := p.p_conflicts;
+      printed := true;
+      Printf.eprintf
+        "\r[%7.1fs] %-14s best=%-6s conflicts=%-9d (%7.0f/s) restarts=%d   %!"
+        p.p_elapsed p.p_phase
+        (match p.p_best with Some c -> string_of_int c | None -> "-")
+        p.p_conflicts rate p.p_restarts
+    end;
+    Mutex.unlock lock
+  in
+  let finish () = if !printed then prerr_newline () in
+  (on_progress, finish)
 
 let cascade_conv =
   let parse s =
@@ -384,10 +531,66 @@ let map_cmd =
              $(b,-j1) runs the classic sequential path; every value of \
              N produces the same mapping.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT.json"
+          ~doc:
+            "Record a span trace of the whole run (mapper candidates, \
+             portfolio lanes, minimization steps, solver phases, tagged \
+             by worker domain) and write it as Chrome trace-event JSON \
+             — load it in Perfetto (ui.perfetto.dev) or \
+             chrome://tracing.  See doc/OBSERVABILITY.md.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"OUT.ndjson"
+          ~doc:
+            "Also write the span events as newline-delimited JSON (one \
+             event object per line), for ad-hoc processing with jq/awk.")
+  in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Live single-line status on stderr while solving: elapsed \
+             time, current phase, best objective cost so far, \
+             cumulative conflicts and conflicts/s, restarts.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print exactly one JSON report object on stdout (cost, \
+             optimality, seed, strategy, per-stage telemetry, solver \
+             counters, objective trajectory) instead of the QASM \
+             stream.  The mapped circuit is embedded as a \"qasm\" \
+             field, or written to $(b,--output) when given.  All \
+             human-readable output stays on stderr, so piping into jq \
+             always works.")
+  in
   let run input device strategy subsets timeout portfolio stage_budget
-      fallback inject lint sanitize solver_stats jobs output draw =
+      fallback inject lint sanitize solver_stats jobs trace events progress
+      json output draw =
     let jobs = max 1 jobs in
     if sanitize then Solver.set_sanitize_all true;
+    if trace <> None || events <> None then Trace.enable ();
+    let write_observability () =
+      Trace.disable ();
+      Option.iter Trace.write_chrome trace;
+      Option.iter Trace.write_ndjson events
+    in
+    let on_progress, finish_progress =
+      if progress then
+        let cb, fin = make_progress_printer () in
+        (Some cb, fin)
+      else (None, Fun.id)
+    in
     let circuit = load input in
     (match lint with
     | None -> ()
@@ -427,15 +630,23 @@ let map_cmd =
           jobs;
         }
       in
-      match Portfolio.run ~options ~arch:device circuit with
+      match Portfolio.run ~options ?on_progress ~arch:device circuit with
       | Ok r ->
+          finish_progress ();
+          write_observability ();
           portfolio_summary r;
           if solver_stats then print_sat_stats r.sat_stats;
-          if draw then Draw.print r.elementary;
+          if draw && not json then Draw.print r.elementary;
           lint_output r.elementary;
-          emit output r.elementary;
+          if json then begin
+            Option.iter (fun path -> Qasm.write_file path r.elementary) output;
+            print_endline (portfolio_json ~input ~output r)
+          end
+          else emit output r.elementary;
           if r.verified = Some false then exit 1
       | Error e ->
+          finish_progress ();
+          write_observability ();
           Format.eprintf "mapping failed: %a@." Portfolio.pp_failure e;
           exit 1
     end
@@ -443,15 +654,23 @@ let map_cmd =
       let options =
         { Mapper.default with strategy; use_subsets = subsets; timeout; jobs }
       in
-      match Mapper.run ~options ~arch:device circuit with
+      match Mapper.run ~options ?on_progress ~arch:device circuit with
       | Ok r ->
+          finish_progress ();
+          write_observability ();
           report_summary r;
           if solver_stats then print_sat_stats r.sat_stats;
-          if draw then Draw.print r.elementary;
+          if draw && not json then Draw.print r.elementary;
           lint_output r.elementary;
-          emit output r.elementary;
+          if json then begin
+            Option.iter (fun path -> Qasm.write_file path r.elementary) output;
+            print_endline (mapper_json ~input ~output r)
+          end
+          else emit output r.elementary;
           if r.verified = Some false then exit 1
       | Error e ->
+          finish_progress ();
+          write_observability ();
           Format.eprintf "mapping failed: %a@." Mapper.pp_failure e;
           exit 1
     end
@@ -465,7 +684,8 @@ let map_cmd =
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
       $ inject_arg $ lint_arg $ sanitize_arg $ solver_stats_arg $ jobs_arg
-      $ output_arg $ draw_arg)
+      $ trace_arg $ events_arg $ progress_arg $ json_arg $ output_arg
+      $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

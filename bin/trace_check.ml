@@ -1,0 +1,208 @@
+(* trace_check — validate a qxmap span trace.
+
+   Works on both outputs of the tracer: the Chrome trace-event file
+   (--trace, one event object per line inside a {"traceEvents": [...]}
+   wrapper) and the NDJSON event log (--events).  Checks, per worker
+   (tid):
+
+     - every E event closes the most recent open B of the same name
+       (well-nested spans, no cross-worker interleaving);
+     - timestamps are monotonically non-decreasing;
+     - no span is left open at the end of the file.
+
+   Flags:
+     --min-workers N    require at least N distinct tids
+     --require PREFIX   require at least one event name with this prefix
+                        (repeatable)
+
+   Exit 0 when all checks pass, 1 otherwise.  Stdlib only, so the CI
+   artifact check needs nothing beyond the repo itself. *)
+
+let fail = ref false
+
+let error fmt =
+  fail := true;
+  Printf.eprintf "trace_check: ";
+  Printf.kfprintf (fun oc -> output_char oc '\n') stderr fmt
+
+(* -- narrow JSON field extraction ----------------------------------------- *)
+
+(* The tracer emits one event object per line with fixed field shapes
+   ("name": "...", "ph": "B", "ts": 12.3, "tid": 4), so a string scan is
+   enough — no JSON parser needed. *)
+
+let find_key line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec scan i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else scan (i + 1)
+  in
+  scan 0
+
+let skip_ws line i =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go i
+
+let string_field line key =
+  match find_key line key with
+  | None -> None
+  | Some i ->
+      let i = skip_ws line i in
+      if i >= String.length line || line.[i] <> '"' then None
+      else begin
+        let buf = Buffer.create 16 in
+        let n = String.length line in
+        let rec go i =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when i + 1 < n ->
+                Buffer.add_char buf line.[i + 1];
+                go (i + 2)
+            | c ->
+                Buffer.add_char buf c;
+                go (i + 1)
+        in
+        go (i + 1)
+      end
+
+let number_field line key =
+  match find_key line key with
+  | None -> None
+  | Some i ->
+      let i = skip_ws line i in
+      let n = String.length line in
+      let j = ref i in
+      while
+        !j < n
+        && (match line.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j = i then None else float_of_string_opt (String.sub line i (!j - i))
+
+(* -- checks --------------------------------------------------------------- *)
+
+type worker = {
+  mutable stack : string list;  (* open span names, innermost first *)
+  mutable last_ts : float;
+  mutable events : int;
+}
+
+let () =
+  let min_workers = ref 0 in
+  let required = ref [] in
+  let file = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--min-workers" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v -> min_workers := v
+        | None ->
+            prerr_endline "trace_check: --min-workers needs an integer";
+            exit 2);
+        parse_args rest
+    | "--require" :: p :: rest ->
+        required := p :: !required;
+        parse_args rest
+    | path :: rest ->
+        (match !file with
+        | None -> file := Some path
+        | Some _ ->
+            prerr_endline "trace_check: exactly one input file expected";
+            exit 2);
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !file with
+    | Some p -> p
+    | None ->
+        prerr_endline
+          "usage: trace_check [--min-workers N] [--require PREFIX]... FILE";
+        exit 2
+  in
+  let workers : (int, worker) Hashtbl.t = Hashtbl.create 8 in
+  let seen_prefix = Hashtbl.create 8 in
+  let total = ref 0 in
+  let ic = open_in path in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let raw = input_line ic in
+       incr lineno;
+       let line = String.trim raw in
+       if String.length line > 0 && line.[0] = '{' && find_key line "name" <> None
+       then begin
+         match
+           ( string_field line "name",
+             string_field line "ph",
+             number_field line "ts",
+             number_field line "tid" )
+         with
+         | Some name, Some ph, Some ts, Some tid ->
+             incr total;
+             let tid = int_of_float tid in
+             let w =
+               match Hashtbl.find_opt workers tid with
+               | Some w -> w
+               | None ->
+                   let w = { stack = []; last_ts = neg_infinity; events = 0 } in
+                   Hashtbl.add workers tid w;
+                   w
+             in
+             w.events <- w.events + 1;
+             if ts < w.last_ts then
+               error "line %d: tid %d timestamp goes backwards (%.1f < %.1f)"
+                 !lineno tid ts w.last_ts;
+             w.last_ts <- ts;
+             List.iter
+               (fun p ->
+                 if
+                   String.length name >= String.length p
+                   && String.sub name 0 (String.length p) = p
+                 then Hashtbl.replace seen_prefix p true)
+               !required;
+             (match ph with
+             | "B" -> w.stack <- name :: w.stack
+             | "E" -> (
+                 match w.stack with
+                 | top :: rest when top = name -> w.stack <- rest
+                 | top :: _ ->
+                     error
+                       "line %d: tid %d closes span %S but %S is innermost"
+                       !lineno tid name top
+                 | [] ->
+                     error "line %d: tid %d closes span %S with none open"
+                       !lineno tid name)
+             | "i" | "I" -> ()
+             | _ -> error "line %d: unknown phase %S" !lineno ph)
+         | _ -> error "line %d: event object missing name/ph/ts/tid" !lineno
+       end
+     done
+   with End_of_file -> close_in ic);
+  Hashtbl.iter
+    (fun tid w ->
+      List.iter
+        (fun name -> error "tid %d: span %S never closed" tid name)
+        w.stack)
+    workers;
+  let nworkers = Hashtbl.length workers in
+  if nworkers < !min_workers then
+    error "only %d distinct worker tid(s), need at least %d" nworkers
+      !min_workers;
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem seen_prefix p) then
+        error "no event with name prefix %S" p)
+    !required;
+  if !total = 0 then error "no trace events found in %s" path;
+  if !fail then exit 1
+  else
+    Printf.printf "trace_check: OK — %d events, %d worker(s)\n" !total nworkers

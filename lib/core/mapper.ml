@@ -15,6 +15,8 @@ module Pool = Qxm_par.Pool
 module Incumbent = Qxm_par.Incumbent
 module Cancel = Qxm_par.Cancel
 module Sabre = Qxm_heuristic.Sabre
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
 
 type options = {
   strategy : Strategy.t;
@@ -29,7 +31,10 @@ type options = {
   jobs : int;
   incumbent_pruning : bool;
   warm_start : bool;
+  seed : int;
 }
+
+let candidates_pruned = lazy (Metrics.counter "mapper.candidates_pruned")
 
 (* [QXM_JOBS] lets a whole process (most usefully: the test suite under
    CI) opt into parallel candidate fan-out without touching call sites. *)
@@ -55,6 +60,7 @@ let default =
     jobs = jobs_from_env ();
     incumbent_pruning = true;
     warm_start = true;
+    seed = 0;
   }
 
 type report = {
@@ -74,6 +80,18 @@ type report = {
   workers : int;
   pruned_by_incumbent : int;
   sat_stats : Solver.stats;
+  seed : int;
+  strategy_name : string;
+  trajectory : (float * int) list;
+  phase_seconds : (string * float) list;
+}
+
+type progress = {
+  p_phase : string;
+  p_best : int option;
+  p_conflicts : int;
+  p_restarts : int;
+  p_elapsed : float;
 }
 
 type failure =
@@ -235,15 +253,35 @@ let heuristic_warmth ~options ~built inst =
         Some (hints, bound)
       end
 
-let solve_instance ~options ~cancel ~deadline ~bound inst =
+(* Observation hooks threaded from [run] into each candidate solve:
+   [obs_phase] times (and spans) a pipeline stage under its name,
+   [obs_incumbent] receives every candidate-local incumbent cost, and
+   [obs_solver] attaches the in-search progress callback to each fresh
+   solver.  A record with a polymorphic field so one wrapper serves
+   stages of any return type. *)
+type obs = {
+  obs_phase : 'a. string -> (unit -> 'a) -> 'a;
+  obs_incumbent : int -> unit;
+  obs_solver : Solver.t -> unit;
+}
+
+let solve_instance ~(options : options) ~obs ~cancel ~deadline ~bound inst =
   let solver = Solver.create () in
+  if options.seed <> 0 then Solver.set_random_seed solver options.seed;
+  obs.obs_solver solver;
   (match cancel with
   | Some c -> Solver.set_stop solver (Some (Cancel.flag c))
   | None -> ());
   let cnf = Cnf.create solver in
-  let built = Encoding.build ~amo:options.amo ~costs:options.costs cnf inst in
+  let built =
+    obs.obs_phase "encode" (fun () ->
+        Encoding.build ~amo:options.amo ~costs:options.costs cnf inst)
+  in
   let warmth =
-    if options.warm_start then heuristic_warmth ~options ~built inst else None
+    if options.warm_start then
+      obs.obs_phase "warm_start" (fun () ->
+          heuristic_warmth ~options ~built inst)
+    else None
   in
   let bound =
     match (bound, Option.bind warmth snd) with
@@ -252,11 +290,13 @@ let solve_instance ~options ~cancel ~deadline ~bound inst =
     | None, None -> None
   in
   let outcome =
-    Minimize.minimize ~strategy:options.opt_strategy
-      ?deadline:(Option.map Fun.id deadline)
-      ~conflict_limit:options.conflict_limit ?upper_bound:bound
-      ?warm_start:(Option.map fst warmth) ~cnf
-      ~objective:(Encoding.objective built) ()
+    obs.obs_phase "solve" (fun () ->
+        Minimize.minimize ~strategy:options.opt_strategy
+          ?deadline:(Option.map Fun.id deadline)
+          ~conflict_limit:options.conflict_limit ?upper_bound:bound
+          ?warm_start:(Option.map fst warmth)
+          ~on_incumbent:obs.obs_incumbent ~cnf
+          ~objective:(Encoding.objective built) ())
   in
   let stats = Solver.stats solver in
   match outcome with
@@ -291,8 +331,81 @@ type candidate_outcome =
       stats : Solver.stats;
     }
 
-let run ?(options = default) ?pool ?cancel ~arch circuit =
+let run ?(options = default) ?pool ?cancel ?on_progress ~arch circuit =
   let start = Unix.gettimeofday () in
+  (* Observation state shared by all candidate racers.  Everything here
+     is either atomic or guarded by [obs_lock]; the callbacks run on
+     whichever domain is solving. *)
+  let obs_lock = Mutex.create () in
+  let phases : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let rev_traj = ref [] in
+  let best_seen = ref max_int in
+  let total_conflicts = Atomic.make 0 in
+  let total_restarts = Atomic.make 0 in
+  let fire_progress phase =
+    match on_progress with
+    | None -> ()
+    | Some cb ->
+        Mutex.lock obs_lock;
+        let best = !best_seen in
+        Mutex.unlock obs_lock;
+        cb
+          {
+            p_phase = phase;
+            p_best = (if best = max_int then None else Some best);
+            p_conflicts = Atomic.get total_conflicts;
+            p_restarts = Atomic.get total_restarts;
+            p_elapsed = Unix.gettimeofday () -. start;
+          }
+  in
+  let obs =
+    {
+      obs_phase =
+        (fun name f ->
+          fire_progress name;
+          let t0 = Unix.gettimeofday () in
+          Fun.protect
+            ~finally:(fun () ->
+              let dt = Unix.gettimeofday () -. t0 in
+              Mutex.lock obs_lock;
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt phases name) in
+              Hashtbl.replace phases name (prev +. dt);
+              Mutex.unlock obs_lock)
+            (fun () -> Trace.with_span ~name:("mapper." ^ name) f));
+      obs_incumbent =
+        (fun cost ->
+          let improved =
+            Mutex.lock obs_lock;
+            let better = cost < !best_seen in
+            if better then begin
+              best_seen := cost;
+              rev_traj := (Unix.gettimeofday (), cost) :: !rev_traj
+            end;
+            Mutex.unlock obs_lock;
+            better
+          in
+          if improved then fire_progress "solve");
+      obs_solver =
+        (fun solver ->
+          if on_progress <> None then begin
+            (* per-solver watermarks: each callback publishes its delta
+               into the shared totals *)
+            let last_c = ref 0 and last_r = ref 0 in
+            Solver.set_on_progress solver
+              (Some
+                 (fun pr ->
+                   ignore
+                     (Atomic.fetch_and_add total_conflicts
+                        (pr.Solver.pr_conflicts - !last_c));
+                   ignore
+                     (Atomic.fetch_and_add total_restarts
+                        (pr.Solver.pr_restarts - !last_r));
+                   last_c := pr.Solver.pr_conflicts;
+                   last_r := pr.Solver.pr_restarts;
+                   fire_progress "solve"))
+          end)
+    }
+  in
   (* Reserve a slice of the budget for reconstruction and verification:
      solving stops early enough that an incumbent found near the deadline
      still becomes a full report instead of a late [Timeout]. *)
@@ -330,6 +443,13 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
        optimum.  Run inline (width 1), the caps replay the sequential
        scan's [prev.s_cost - 1] bounds exactly. *)
     let run_candidate index (sub_arch, _back) =
+      Trace.with_span ~name:"mapper.candidate"
+        ~args:
+          [
+            ("index", Trace.Int index);
+            ("qubits", Trace.Int (Coupling.num_qubits sub_arch));
+          ]
+      @@ fun () ->
       let give_up =
         (match deadline with
         | Some d -> Unix.gettimeofday () > d
@@ -348,7 +468,7 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
           | Some u, None -> Some u
           | None, c -> c
         in
-        match solve_instance ~options ~cancel ~deadline ~bound
+        match solve_instance ~options ~obs ~cancel ~deadline ~bound
                 (inst_of sub_arch)
         with
         | `Unsat stats ->
@@ -441,8 +561,9 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
           if ncand <= 1 then s
           else
             match
-              solve_instance ~options ~cancel ~deadline
-                ~bound:(Some best_cost) (inst_of sub_arch)
+              Trace.with_span ~name:"mapper.canonical_resolve" (fun () ->
+                  solve_instance ~options ~obs ~cancel ~deadline
+                    ~bound:(Some best_cost) (inst_of sub_arch))
             with
             | `Model s2 ->
                 add_stats s2.s_stats;
@@ -455,12 +576,14 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
         in
         let m_inst = Coupling.num_qubits sub_arch in
         let mapped_inst, init_l, final_l, init_full, final_full =
-          reconstruct s.s_built s.s_model circuit m_inst
+          obs.obs_phase "reconstruct" (fun () ->
+              reconstruct s.s_built s.s_model circuit m_inst)
         in
         let verified =
           if options.verify then
-            verify_mapping ~arch_inst:sub_arch ~original:circuit
-              ~mapped:mapped_inst ~init_full ~final_full
+            obs.obs_phase "verify" (fun () ->
+                verify_mapping ~arch_inst:sub_arch ~original:circuit
+                  ~mapped:mapped_inst ~init_full ~final_full)
           else None
         in
         (* Relabel into device space and decompose against the device. *)
@@ -502,7 +625,18 @@ let run ?(options = default) ?pool ?cancel ~arch circuit =
             workers;
             pruned_by_incumbent = !pruned;
             sat_stats = !sat_stats;
+            seed = options.seed;
+            strategy_name = Strategy.name options.strategy;
+            trajectory =
+              List.rev_map (fun (t, c) -> (t -. start, c)) !rev_traj;
+            phase_seconds =
+              List.map
+                (fun name ->
+                  ( name,
+                    Option.value ~default:0.0 (Hashtbl.find_opt phases name) ))
+                [ "encode"; "warm_start"; "solve"; "reconstruct"; "verify" ];
           }
         in
+        if !pruned > 0 then Metrics.add (Lazy.force candidates_pruned) !pruned;
         Ok report
   end

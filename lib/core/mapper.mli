@@ -69,6 +69,13 @@ type options = {
           hints never affect which cost is optimal, only how fast the
           solver gets there; turning this off recovers the cold solver
           for measurement. *)
+  seed : int;
+      (** RNG seed for the SAT solver's random tie-breaking.  [0] (the
+          default) leaves each solver's built-in deterministic seed
+          untouched; any other value is applied to every solver this
+          call creates.  Whatever the value, the report records the
+          seed actually in force ([report.seed]) so a run can be
+          reproduced from its own output. *)
 }
 
 val default : options
@@ -115,6 +122,31 @@ type report = {
           ones, plus the canonical re-solve).  Exposes the clause-tier,
           minimization, and inprocessing counters for `--stats` output
           and the benchmark JSON; see [doc/PERFORMANCE.md]. *)
+  seed : int;
+      (** The RNG seed in force for this run ([options.seed]; [0] means
+          the solver's built-in default). *)
+  strategy_name : string;
+      (** Name of the permutation-spot strategy actually used, after
+          defaulting ({!Strategy.name}). *)
+  trajectory : (float * int) list;
+      (** Objective trajectory of the whole candidate race: one
+          [(seconds-since-start, cost)] entry per global incumbent
+          improvement, in time order with strictly decreasing costs.
+          The last entry's cost equals the winning model's cost. *)
+  phase_seconds : (string * float) list;
+      (** Wall-clock seconds summed per pipeline stage across every
+          candidate: [encode], [warm_start], [solve], [reconstruct],
+          [verify] (always all five, zero when unused).  With parallel
+          candidates the stage sums can exceed [runtime]. *)
+}
+
+(** A live progress sample, delivered while {!run} is working. *)
+type progress = {
+  p_phase : string;  (** pipeline stage, e.g. ["encode"] or ["solve"] *)
+  p_best : int option;  (** best objective cost published so far *)
+  p_conflicts : int;  (** SAT conflicts, summed over all solvers *)
+  p_restarts : int;  (** solver restarts, summed over all solvers *)
+  p_elapsed : float;  (** seconds since the call started *)
 }
 
 type failure =
@@ -128,6 +160,7 @@ val run :
   ?options:options ->
   ?pool:Qxm_par.Pool.t ->
   ?cancel:Qxm_par.Cancel.t ->
+  ?on_progress:(progress -> unit) ->
   arch:Qxm_arch.Coupling.t ->
   Qxm_circuit.Circuit.t ->
   (report, failure) result
@@ -140,4 +173,11 @@ val run :
     [?cancel] is polled between candidates and inside every SAT solve
     (via [Solver.set_stop]); once cancelled, the call winds down quickly
     and reports whatever it can ([Timeout] when nothing was found).
+
+    [?on_progress] is invoked from inside the run — at stage
+    transitions, on every incumbent improvement, and on the solvers'
+    64-conflict progress tick.  With parallel candidates it fires
+    concurrently from several domains, so the callback must be
+    thread-safe and fast; conflict/restart counts are cumulative over
+    all solvers of this call.
     @raise Invalid_argument on SWAP gates in the input. *)

@@ -6,6 +6,13 @@ module Stochastic = Qxm_heuristic.Stochastic_swap
 module Pool = Qxm_par.Pool
 module Cancel = Qxm_par.Cancel
 module Solver = Qxm_sat.Solver
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
+
+let lane_cancellations = lazy (Metrics.counter "portfolio.lane_cancellations")
+
+let ladder_budget =
+  lazy (Metrics.histogram "portfolio.ladder_conflict_budget")
 
 type provenance = Exact_optimal | Exact_incumbent | Heuristic of string
 
@@ -70,6 +77,9 @@ type report = {
   solves : int;
   stages : stage list;
   sat_stats : Solver.stats;
+  seed : int;
+  strategy_name : string;
+  trajectory : (float * int) list;
 }
 
 type failure =
@@ -104,7 +114,7 @@ let certified ~arch c =
   | Ok (), Some false -> Error "rejected: equivalence check failed"
   | Ok (), (None | Some true) -> Ok c
 
-let run ?(options = default) ~arch circuit =
+let run ?(options = default) ?on_progress ~arch circuit =
   let start = Unix.gettimeofday () in
   let m = Coupling.num_qubits arch in
   let n = Circuit.num_qubits circuit in
@@ -153,19 +163,69 @@ let run ?(options = default) ~arch circuit =
     in
     (* Best exact result so far (optimal or anytime incumbent). *)
     let best_exact : Mapper.report option ref = ref None in
-    let note_exact (r : Mapper.report) =
+    (* Objective trajectory across all exact stages, in absolute time;
+       normalized to a monotone run-relative series in the report. *)
+    let raw_traj : (float * int) list ref = ref [] in
+    let note_exact ~t0 (r : Mapper.report) =
+      Mutex.lock stage_lock;
+      List.iter
+        (fun (t, c) -> raw_traj := (t0 +. t, c) :: !raw_traj)
+        r.trajectory;
+      Mutex.unlock stage_lock;
       match !best_exact with
       | Some prev when prev.f_cost <= r.f_cost -> ()
       | _ -> best_exact := Some r
     in
+    let final_trajectory () =
+      let pts =
+        List.sort (fun (a, _) (b, _) -> compare a b) !raw_traj
+      in
+      let _, rev =
+        List.fold_left
+          (fun (best, acc) (t, c) ->
+            if c < best then (c, (t -. start, c) :: acc) else (best, acc))
+          (max_int, []) pts
+      in
+      List.rev rev
+    in
     let proved_optimal = ref false in
     let exact_cancel = Cancel.create () in
     let heur_cancel = Cancel.create () in
+    let cancel_lane ~lane ~cause token =
+      if not (Cancel.cancelled token) then begin
+        Metrics.incr (Lazy.force lane_cancellations);
+        Trace.instant
+          ~args:[ ("lane", Trace.Str lane); ("cause", Trace.Str cause) ]
+          "portfolio.cancel"
+      end;
+      Cancel.cancel token
+    in
+    (* Forward mapper progress under the portfolio stage's name, with
+       elapsed time rebased to the portfolio's own start. *)
+    let stage_progress stage =
+      Option.map
+        (fun cb (p : Mapper.progress) ->
+          cb
+            {
+              p with
+              Mapper.p_phase = stage;
+              p_elapsed = Unix.gettimeofday () -. start;
+            })
+        on_progress
+    in
     (* One exact stage: [strategy] is either the requested strategy (a
        ladder rung) or one of its relaxations (the probe), so the best
        incumbent's objective value is always a sound upper bound. *)
     let run_exact ?pool ?cancel ~stage ~strategy ~conflict_limit () =
       let t0 = Unix.gettimeofday () in
+      Trace.with_span ~name:"portfolio.stage"
+        ~args:
+          [
+            ("stage", Trace.Str stage);
+            ("conflict_limit", Trace.Int conflict_limit);
+          ]
+      @@ fun () ->
+      Metrics.observe (Lazy.force ladder_budget) conflict_limit;
       match exact_time_left () with
       | Some left when left <= 0.0 ->
           record ~stage ~t0 ~stage_solves:0 "skipped: exact budget spent"
@@ -191,10 +251,13 @@ let run ?(options = default) ~arch circuit =
             }
           in
           let seeded = upper_bound <> options.exact.upper_bound in
-          (match Mapper.run ~options:opts ?pool ?cancel ~arch circuit with
+          (match
+             Mapper.run ~options:opts ?pool ?cancel
+               ?on_progress:(stage_progress stage) ~arch circuit
+           with
           | Ok r ->
               note_stats r.sat_stats;
-              note_exact r;
+              note_exact ~t0 r;
               if r.optimal && strategy = options.exact.strategy then
                 proved_optimal := true;
               record ~stage ~t0 ~stage_solves:r.solves
@@ -222,6 +285,7 @@ let run ?(options = default) ~arch circuit =
        lane's own token — a raced lane that lost stops between rungs (and,
        through [Solver.set_stop], mid-solve). *)
     let exact_lane ?pool ?cancel () =
+      Trace.with_span ~name:"portfolio.exact_lane" @@ fun () ->
       let lane_cancelled () =
         match cancel with Some c -> Cancel.cancelled c | None -> false
       in
@@ -287,6 +351,7 @@ let run ?(options = default) ~arch circuit =
        success.  [on_success] fires right after certification — the racing
        path uses it to cancel the exact lane in latency mode. *)
     let heuristic_lane ?cancel ~on_success () =
+      Trace.with_span ~name:"portfolio.heuristic_lane" @@ fun () ->
       let verify = options.exact.verify in
       let rec cascade = function
         | [] -> None
@@ -382,7 +447,8 @@ let run ?(options = default) ~arch circuit =
                   (* A proven optimum is final: the heuristic lane can
                      only lose the comparison, so stop paying for it. *)
                   if !proved_optimal && e <> None then
-                    Cancel.cancel heur_cancel;
+                    cancel_lane ~lane:"heuristic" ~cause:"exact proved optimal"
+                      heur_cancel;
                   e)
             in
             let h_fut =
@@ -393,7 +459,10 @@ let run ?(options = default) ~arch circuit =
                          latency mode (a wall-clock budget is set); an
                          unbudgeted run still wants the exact proof. *)
                       if options.budget <> None || options.exact_budget <> None
-                      then Cancel.cancel exact_cancel)
+                      then
+                        cancel_lane ~lane:"exact"
+                          ~cause:"heuristic certified first (latency mode)"
+                          exact_cancel)
                     ())
             in
             match Pool.await_all [ e_fut; h_fut ] with
@@ -424,5 +493,8 @@ let run ?(options = default) ~arch circuit =
             solves = !solves;
             stages = List.rev !stages;
             sat_stats = !sat_stats;
+            seed = options.seed;
+            strategy_name = Strategy.name options.exact.strategy;
+            trajectory = final_trajectory ();
           }
   end

@@ -122,6 +122,17 @@ type report = {
           stage that produced a report (probe and ladder rungs alike);
           heuristic stages contribute nothing.  See
           [doc/PERFORMANCE.md] for how to read the counters. *)
+  seed : int;
+      (** The RNG seed in force for this run ([options.seed]; [0] means
+          every engine's built-in default). *)
+  strategy_name : string;
+      (** Name of the exact strategy actually targeted, after
+          defaulting ({!Strategy.name} of [options.exact.strategy]). *)
+  trajectory : (float * int) list;
+      (** Objective trajectory merged over all exact stages: one
+          [(seconds-since-start, cost)] entry per global incumbent
+          improvement, time-ordered with strictly decreasing costs.
+          Empty when no exact stage found a model. *)
 }
 
 type failure =
@@ -135,9 +146,15 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val run :
   ?options:options ->
+  ?on_progress:(Mapper.progress -> unit) ->
   arch:Qxm_arch.Coupling.t ->
   Qxm_circuit.Circuit.t ->
   (report, failure) result
 (** Map [circuit] onto [arch] with graceful degradation.  Never raises
     on engine failures (they become [stages] telemetry); the input
-    contract is the same as {!Mapper.run}'s (no SWAP gates). *)
+    contract is the same as {!Mapper.run}'s (no SWAP gates).
+
+    [?on_progress] receives the exact stages' live progress samples with
+    [p_phase] set to the portfolio stage name (e.g. ["exact:4000"]) and
+    [p_elapsed] rebased to this call's start.  Same thread-safety
+    contract as {!Mapper.run}'s [?on_progress]. *)

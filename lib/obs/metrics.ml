@@ -1,0 +1,174 @@
+(* All cells are atomics so any domain can update them without locks;
+   the registry table itself is only touched under [lock] at
+   registration, snapshot and reset time. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+let nbuckets = 32
+
+type histogram = int Atomic.t array (* log2 buckets *)
+
+type cell = C of counter | G of gauge | H of histogram
+
+let lock = Mutex.create ()
+let table : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let register name make same =
+  Mutex.lock lock;
+  let cell =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None ->
+        let c = make () in
+        Hashtbl.add table name c;
+        c
+  in
+  Mutex.unlock lock;
+  match same cell with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as another kind"
+           name)
+
+let counter name =
+  register name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> Some c | _ -> None)
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+
+let gauge name =
+  register name
+    (fun () -> G (Atomic.make 0.0))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g v
+
+let rec max_gauge g v =
+  let cur = Atomic.get g in
+  if v > cur && not (Atomic.compare_and_set g cur v) then max_gauge g v
+
+let histogram name =
+  register name
+    (fun () -> H (Array.init nbuckets (fun _ -> Atomic.make 0)))
+    (function H h -> Some h | _ -> None)
+
+(* bucket 0: v <= 0; bucket k >= 1: 2^(k-1) <= v < 2^k *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 0 do
+      b := !b + 1;
+      v := !v lsr 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let observe h v = ignore (Atomic.fetch_and_add h.(bucket_of v) 1)
+
+type value = Count of int | Level of float | Buckets of int array
+
+type snapshot = (string * value) list
+
+let snapshot () =
+  Mutex.lock lock;
+  let entries =
+    Hashtbl.fold
+      (fun name cell acc ->
+        let v =
+          match cell with
+          | C c -> Count (Atomic.get c)
+          | G g -> Level (Atomic.get g)
+          | H h -> Buckets (Array.map Atomic.get h)
+        in
+        (name, v) :: acc)
+      table []
+  in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let find snap name = List.assoc_opt name snap
+
+let count snap name =
+  match find snap name with Some (Count n) -> n | _ -> 0
+
+(* Walk two name-sorted snapshots in one pass. *)
+let combine ~left_only ~right_only ~both a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], [] -> List.rev acc
+    | (n, v) :: rest, [] -> go rest [] (opt acc n (left_only v))
+    | [], (n, v) :: rest -> go [] rest (opt acc n (right_only v))
+    | (na, va) :: ra, (nb, vb) :: rb ->
+        if na < nb then go ra b (opt acc na (left_only va))
+        else if nb < na then go a rb (opt acc nb (right_only vb))
+        else go ra rb (opt acc na (both va vb))
+  and opt acc n = function None -> acc | Some v -> (n, v) :: acc in
+  go a b []
+
+let diff later earlier =
+  combine
+    ~left_only:(fun v -> Some v)
+    ~right_only:(fun _ -> None)
+    ~both:(fun l e ->
+      match (l, e) with
+      | Count a, Count b -> Some (Count (max 0 (a - b)))
+      | Level a, _ -> Some (Level a)
+      | Buckets a, Buckets b ->
+          Some (Buckets (Array.mapi (fun i x -> max 0 (x - b.(i))) a))
+      | v, _ -> Some v)
+    later earlier
+
+let merge a b =
+  combine
+    ~left_only:(fun v -> Some v)
+    ~right_only:(fun v -> Some v)
+    ~both:(fun x y ->
+      match (x, y) with
+      | Count a, Count b -> Some (Count (a + b))
+      | Level a, Level b -> Some (Level (Float.max a b))
+      | Buckets a, Buckets b ->
+          Some (Buckets (Array.mapi (fun i v -> v + b.(i)) a))
+      | v, _ -> Some v)
+    a b
+
+let value_json = function
+  | Count n -> string_of_int n
+  | Level f -> Printf.sprintf "%g" f
+  | Buckets b ->
+      (* trim the untouched tail so the common all-small case stays
+         compact *)
+      let last = ref (-1) in
+      Array.iteri (fun i v -> if v > 0 then last := i) b;
+      "["
+      ^ String.concat ", "
+          (List.init (!last + 1) (fun i -> string_of_int b.(i)))
+      ^ "]"
+
+let to_json snap =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (value_json v))
+         snap)
+  ^ "}"
+
+let pp fmt snap =
+  List.iter
+    (fun (n, v) -> Format.fprintf fmt "%-36s %s@." n (value_json v))
+    snap
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
+      | H h -> Array.iter (fun a -> Atomic.set a 0) h)
+    table;
+  Mutex.unlock lock

@@ -1,0 +1,172 @@
+type arg = Int of int | Str of string | Float of float | Bool of bool
+
+type event = {
+  ph : [ `B | `E | `I ];
+  name : string;
+  ts_us : float;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(* Per-domain buffer.  Events are prepended (cheap) and reversed at
+   export.  [gen] ties the buffer to one tracer generation: a [reset]
+   bumps the generation, so a domain holding a stale cached buffer
+   re-registers instead of appending into a dropped list. *)
+type buffer = { tid : int; gen : int; mutable rev_events : event list }
+
+let on = Atomic.make false
+let generation = Atomic.make 0
+
+(* Clock origin of the current generation.  [Unix.gettimeofday] is the
+   only portable clock in the stdlib; rebasing to the origin keeps
+   timestamps small and monotone in practice (the paper-scale runs are
+   far shorter than any NTP step). *)
+let origin = ref (Unix.gettimeofday ())
+let now_us () = (Unix.gettimeofday () -. !origin) *. 1e6
+
+let registry_lock = Mutex.create ()
+let registry : buffer list ref = ref []
+
+let enabled () = Atomic.get on
+
+let rebase () =
+  Mutex.lock registry_lock;
+  registry := [];
+  origin := Unix.gettimeofday ();
+  Atomic.incr generation;
+  Mutex.unlock registry_lock
+
+let enable () =
+  if not (Atomic.get on) then begin
+    rebase ();
+    Atomic.set on true
+  end
+
+let disable () = Atomic.set on false
+let reset () = rebase ()
+
+(* Domain-local cache of the current generation's buffer. *)
+let dls_key : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local_buffer () =
+  let cache = Domain.DLS.get dls_key in
+  let gen = Atomic.get generation in
+  match !cache with
+  | Some b when b.gen = gen -> b
+  | _ ->
+      let b =
+        { tid = (Domain.self () :> int); gen; rev_events = [] }
+      in
+      Mutex.lock registry_lock;
+      (* the generation may have moved while we allocated; registering a
+         stale buffer is harmless (export filters by generation) *)
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      cache := Some b;
+      b
+
+let record b ev = b.rev_events <- ev :: b.rev_events
+
+let with_span ?(args = []) ~name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let b = local_buffer () in
+    record b { ph = `B; name; ts_us = now_us (); tid = b.tid; args };
+    Fun.protect
+      ~finally:(fun () ->
+        record b { ph = `E; name; ts_us = now_us (); tid = b.tid; args = [] })
+      f
+  end
+
+let instant ?(args = []) name =
+  if Atomic.get on then begin
+    let b = local_buffer () in
+    record b { ph = `I; name; ts_us = now_us (); tid = b.tid; args }
+  end
+
+let events () =
+  Mutex.lock registry_lock;
+  let gen = Atomic.get generation in
+  let buffers =
+    List.filter (fun b -> b.gen = gen) !registry
+    |> List.sort (fun a b -> compare a.tid b.tid)
+  in
+  let out =
+    List.concat_map (fun b -> List.rev b.rev_events) buffers
+  in
+  Mutex.unlock registry_lock;
+  out
+
+(* -- JSON rendering ------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let args_json = function
+  | [] -> "{}"
+  | args ->
+      "{"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\": %s" (json_escape k) (arg_json v))
+             args)
+      ^ "}"
+
+let ph_string = function `B -> "B" | `E -> "E" | `I -> "i"
+
+let event_json ev =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"ph\": \"%s\", \"ts\": %.1f, \"pid\": 0, \"tid\": \
+     %d, \"args\": %s}"
+    (json_escape ev.name) (ph_string ev.ph) ev.ts_us ev.tid
+    (args_json ev.args)
+
+let to_chrome_string () =
+  let evs = events () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json ev))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome path = write_file path (to_chrome_string ())
+
+let write_ndjson path =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf (event_json ev);
+      Buffer.add_char buf '\n')
+    (events ());
+  write_file path (Buffer.contents buf)

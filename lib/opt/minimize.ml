@@ -2,6 +2,8 @@ module Solver = Qxm_sat.Solver
 module Lit = Qxm_sat.Lit
 module Pb = Qxm_encode.Pb
 module Cnf = Qxm_encode.Cnf
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
 
 type strategy = Linear_descent | Binary_search
 
@@ -11,7 +13,10 @@ type outcome = {
   optimal : bool;
   solves : int;
   unsatisfiable : bool;
+  trajectory : (float * int) list;
 }
+
+let step_conflicts = lazy (Metrics.histogram "minimize.step_conflicts")
 
 let cost_of_model objective model =
   List.fold_left
@@ -22,8 +27,14 @@ let cost_of_model objective model =
     0 objective
 
 let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
-    ?(conflict_limit = -1) ?upper_bound ?warm_start ~cnf ~objective () =
+    ?(conflict_limit = -1) ?upper_bound ?warm_start ?on_incumbent ~cnf
+    ~objective () =
   let solver = Cnf.solver cnf in
+  let rev_trajectory = ref [] in
+  let note cost =
+    rev_trajectory := (Unix.gettimeofday (), cost) :: !rev_trajectory;
+    match on_incumbent with Some cb -> cb cost | None -> ()
+  in
   (* Phase seeding: bias the search toward the heuristic solution when
      one is supplied, and toward cost 0 on the objective literals either
      way.  Phases steer branching order only, so this cannot change which
@@ -40,11 +51,18 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
     (* The solver's [conflict_limit] is a cap on its *lifetime* conflict
        count; rebase it so each minimization step gets the full per-call
        budget instead of the first step starving all later ones. *)
+    let before = (Solver.stats solver).Solver.conflicts in
     let conflict_limit =
-      if conflict_limit < 0 then -1
-      else (Solver.stats solver).Solver.conflicts + conflict_limit
+      if conflict_limit < 0 then -1 else before + conflict_limit
     in
-    Solver.solve ~assumptions ~deadline ~conflict_limit solver
+    let r =
+      Trace.with_span ~name:"minimize.step"
+        ~args:[ ("step", Trace.Int !solves) ]
+        (fun () -> Solver.solve ~assumptions ~deadline ~conflict_limit solver)
+    in
+    Metrics.observe (Lazy.force step_conflicts)
+      ((Solver.stats solver).Solver.conflicts - before);
+    r
   in
   let seeded_pb =
     match upper_bound with
@@ -62,6 +80,7 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         optimal = false;
         solves = !solves;
         unsatisfiable = true;
+        trajectory = [];
       }
   | Solver.Unknown ->
       {
@@ -70,11 +89,13 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         optimal = false;
         solves = !solves;
         unsatisfiable = false;
+        trajectory = [];
       }
   | Solver.Sat ->
       let best_model = ref (Solver.model solver) in
       let best = ref (cost_of_model objective !best_model) in
       let optimal = ref false in
+      note !best;
       if !best = 0 then optimal := true
       else begin
         let pb =
@@ -90,6 +111,7 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
               | Solver.Sat ->
                   best_model := Solver.model solver;
                   best := cost_of_model objective !best_model;
+                  note !best;
                   if !best = 0 then begin
                     optimal := true;
                     stop := true
@@ -120,6 +142,7 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
                 | Solver.Sat ->
                     best_model := Solver.model solver;
                     best := cost_of_model objective !best_model;
+                    note !best;
                     hi := !best
                 | Solver.Unsat -> lo := bound + 1
                 | Solver.Unknown -> stop := true
@@ -133,4 +156,5 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         optimal = !optimal;
         solves = !solves;
         unsatisfiable = false;
+        trajectory = List.rev !rev_trajectory;
       }

@@ -21,6 +21,12 @@ type outcome = {
   optimal : bool;  (** [true] iff [cost] is proven minimal. *)
   solves : int;  (** Number of [solve] calls performed. *)
   unsatisfiable : bool;  (** [true] iff the hard clauses admit no model. *)
+  trajectory : (float * int) list;
+      (** Objective trajectory: one [(timestamp, cost)] entry per
+          incumbent, in discovery order (so costs are strictly
+          decreasing and the last entry equals [cost]).  Timestamps are
+          absolute [Unix.gettimeofday] values; callers rebase them to
+          their own origin. *)
 }
 
 val minimize :
@@ -29,6 +35,7 @@ val minimize :
   ?conflict_limit:int ->
   ?upper_bound:int ->
   ?warm_start:bool array ->
+  ?on_incumbent:(int -> unit) ->
   cnf:Qxm_encode.Cnf.t ->
   objective:(int * Qxm_sat.Lit.t) list ->
   unit ->
@@ -53,7 +60,11 @@ val minimize :
     descent then starts at — or near — the heuristic solution instead of
     a cold phase assignment.  Unlike [upper_bound] this is only a hint;
     it cannot change the optimum or make the problem unsatisfiable.
-    Objective literals are always phase-seeded toward cost 0. *)
+    Objective literals are always phase-seeded toward cost 0.
+
+    [on_incumbent] fires synchronously each time a new best-cost model
+    is found (the same points recorded in [trajectory]) — the live
+    progress hook behind [qxmap map --progress]. *)
 
 val cost_of_model : (int * Qxm_sat.Lit.t) list -> bool array -> int
 (** Evaluate an objective on a model. *)

@@ -1,9 +1,14 @@
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
+
+let updates = lazy (Metrics.counter "par.incumbent_updates")
+
 type t = { cell : (int * int) option Atomic.t }
 
 let create () = { cell = Atomic.make None }
 let get t = Atomic.get t.cell
 
-let rec offer t ~cost ~index =
+let rec offer_loop t ~cost ~index =
   let cur = Atomic.get t.cell in
   let better =
     match cur with
@@ -12,7 +17,17 @@ let rec offer t ~cost ~index =
   in
   better
   && (Atomic.compare_and_set t.cell cur (Some (cost, index))
-     || offer t ~cost ~index)
+     || offer_loop t ~cost ~index)
+
+let offer t ~cost ~index =
+  let installed = offer_loop t ~cost ~index in
+  if installed then begin
+    Metrics.incr (Lazy.force updates);
+    Trace.instant
+      ~args:[ ("cost", Trace.Int cost); ("index", Trace.Int index) ]
+      "incumbent.update"
+  end;
+  installed
 
 let cap t ~index =
   match get t with

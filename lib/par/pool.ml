@@ -6,6 +6,12 @@
    strand anyone: the enqueue's broadcast happens after the helper
    released the lock into [Condition.wait]. *)
 
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
+
+let queue_depth = lazy (Metrics.gauge "par.pool_queue_depth")
+let tasks_submitted = lazy (Metrics.counter "par.pool_tasks")
+
 type task = unit -> unit
 
 type t = {
@@ -88,7 +94,12 @@ let run_to_state fn =
   | v -> Done v
   | exception e -> Failed (e, Printexc.get_raw_backtrace ())
 
-let submit pool fn =
+let submit ?(label = "pool.task") pool fn =
+  Metrics.incr (Lazy.force tasks_submitted);
+  (* The span opens on whichever domain actually runs the task — a
+     worker, or a helper blocked in [await] — so traces show true
+     placement, keyed by the executing domain's id. *)
+  let fn () = Trace.with_span ~name:label fn in
   if pool.width = 1 then
     (* sequential pool: run inline, in submission order *)
     { state = Atomic.make (run_to_state fn); owner = pool }
@@ -108,6 +119,8 @@ let submit pool fn =
       invalid_arg "Pool.submit: pool is shut down"
     end;
     Queue.add task pool.queue;
+    Metrics.max_gauge (Lazy.force queue_depth)
+      (float_of_int (Queue.length pool.queue));
     Condition.broadcast pool.work;
     Mutex.unlock pool.lock;
     fut

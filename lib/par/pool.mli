@@ -41,10 +41,15 @@ val with_pool : int -> (t -> 'a) -> 'a
 
 type 'a future
 
-val submit : t -> (unit -> 'a) -> 'a future
+val submit : ?label:string -> t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  Exceptions raised by the task are captured (with
     backtrace) and re-raised by {!await}.  On a width-1 pool the task
     runs before [submit] returns.
+
+    [label] (default ["pool.task"]) names the {!Qxm_obs.Trace} span
+    wrapping the task's execution; the span is tagged with the id of the
+    domain that ran it.  Submission also bumps the [par.pool_tasks]
+    counter and the [par.pool_queue_depth] high-water gauge.
     @raise Invalid_argument if the pool has been shut down. *)
 
 val await : 'a future -> 'a

@@ -3,7 +3,17 @@
    management, recursive learnt-clause minimization, inline binary watch
    lists, and restart-boundary inprocessing (backward subsumption + clause
    vivification).  Comments mark where we deviate from the published
-   MiniSat 2.2 / Glucose algorithms. *)
+   MiniSat 2.2 / Glucose algorithms.
+
+   Observability: every [solve] runs inside a [Qxm_obs.Trace] span (a
+   single branch when tracing is off), restart boundaries emit instant
+   events, and inprocessing / database reduction get their own spans.
+   Statistics flow into the [Qxm_obs.Metrics] registry through a
+   watermark flush (see [flush_metrics]) so per-worker solver instances
+   merge into process-wide counters without touching the hot path. *)
+
+module Trace = Qxm_obs.Trace
+module Metrics = Qxm_obs.Metrics
 
 type clause = {
   mutable lits : int array; (* Lit.t array; watched literals at slots 0,1 *)
@@ -78,6 +88,36 @@ let add_stats a b =
     glue_9_plus = a.glue_9_plus + b.glue_9_plus;
   }
 
+(* Canonical (name, value) enumeration of the counters — the bridge
+   between the record (field-wise [add_stats]) and the metrics registry
+   (atomic merge).  The two aggregation routes must agree; a test holds
+   them to it. *)
+let stats_counters st =
+  [
+    ("conflicts", st.conflicts);
+    ("decisions", st.decisions);
+    ("propagations", st.propagations);
+    ("restarts", st.restarts);
+    ("learnt_literals", st.learnt_literals);
+    ("clock_polls", st.clock_polls);
+    ("minimized_lits", st.minimized_lits);
+    ("binary_propagations", st.binary_propagations);
+    ("subsumed_clauses", st.subsumed_clauses);
+    ("vivified_clauses", st.vivified_clauses);
+    ("glue_1", st.glue_1);
+    ("glue_2", st.glue_2);
+    ("glue_3_4", st.glue_3_4);
+    ("glue_5_8", st.glue_5_8);
+    ("glue_9_plus", st.glue_9_plus);
+  ]
+
+type progress = {
+  pr_conflicts : int;
+  pr_decisions : int;
+  pr_propagations : int;
+  pr_restarts : int;
+}
+
 type t = {
   mutable nvars : int;
   mutable assign : Bytes.t; (* per var: 0 undef, 1 true, 2 false *)
@@ -127,6 +167,9 @@ type t = {
   mutable clock_polls : int;
   mutable last_clock_poll : int; (* conflict count at the last clock poll *)
   mutable budget_hit : bool; (* latched by out_of_budget until next solve *)
+  mutable on_progress : (progress -> unit) option;
+  mutable last_progress : int; (* conflict count at the last progress tick *)
+  mutable last_flushed : stats; (* registry watermark; see flush_metrics *)
 }
 
 let var_decay = 1.0 /. 0.95
@@ -193,9 +236,13 @@ let create () =
     clock_polls = 0;
     last_clock_poll = 0;
     budget_hit = false;
+    on_progress = None;
+    last_progress = 0;
+    last_flushed = zero_stats;
   }
 
 let set_stop s flag = s.stop <- flag
+let set_on_progress s cb = s.on_progress <- cb
 
 let sanitize_all = ref false
 let set_sanitize_all b = sanitize_all := b
@@ -226,7 +273,7 @@ let nvars s = s.nvars
 let nclauses s = Vec.Poly.size s.clauses
 let ok s = s.ok
 
-let stats s =
+let current_stats s =
   {
     conflicts = s.conflicts;
     decisions = s.decisions;
@@ -244,6 +291,30 @@ let stats s =
     glue_5_8 = s.glue_hist.(3);
     glue_9_plus = s.glue_hist.(4);
   }
+
+(* One registry counter per stat field, registered once per process. *)
+let registry_counters =
+  lazy
+    (List.map
+       (fun (name, _) -> Metrics.counter ("solver." ^ name))
+       (stats_counters zero_stats))
+
+(* Publish the delta since the last flush into the metrics registry.
+   The watermark (rather than per-[solve] entry/exit deltas) also
+   captures work done outside [solve] — the level-0 propagations of
+   [add_clause] during encoding — so the registry totals agree with the
+   lifetime [stats] record however the calls interleave. *)
+let flush_metrics s =
+  let cur = current_stats s in
+  List.iter2
+    (fun ctr ((_, now), (_, seen)) ->
+      if now > seen then Metrics.add ctr (now - seen))
+    (Lazy.force registry_counters)
+    (List.combine (stats_counters cur) (stats_counters s.last_flushed));
+  s.last_flushed <- cur;
+  cur
+
+let stats s = flush_metrics s
 
 (* -- variable allocation ------------------------------------------------- *)
 
@@ -1252,6 +1323,19 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
       | None ->
           if out_of_budget s ~conflict_limit ~deadline then
             raise (Result Unknown);
+          (* progress hook: same 64-conflict cadence as the clock poll,
+             so enabling it adds no extra clock reads *)
+          (match s.on_progress with
+          | Some cb when s.conflicts - s.last_progress >= 64 ->
+              s.last_progress <- s.conflicts;
+              cb
+                {
+                  pr_conflicts = s.conflicts;
+                  pr_decisions = s.decisions;
+                  pr_propagations = s.propagations;
+                  pr_restarts = s.restarts;
+                }
+          | _ -> ());
           if nof_conflicts >= 0 && !conflict_c >= nof_conflicts then
             raise Restart;
           if decision_level s = 0 then remove_satisfied s s.learnts;
@@ -1259,7 +1343,7 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
             float_of_int (Vec.Poly.size s.learnts - s.num_core)
             -. float_of_int (Vec.Int.size s.trail)
             >= s.max_learnts
-          then reduce_db s;
+          then Trace.with_span ~name:"solver.reduce_db" (fun () -> reduce_db s);
           (* extend with assumptions first, then decide *)
           let next = ref (-2) in
           while
@@ -1294,9 +1378,11 @@ let search s ~nof_conflicts ~conflict_limit ~deadline =
   | Restart ->
       cancel_until s 0;
       s.restarts <- s.restarts + 1;
+      Trace.instant ~args:[ ("conflicts", Trace.Int s.conflicts) ]
+        "solver.restart";
       Unknown
 
-let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
+let solve_raw ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
   (* Deterministic fault injection (tests / --inject): a forced fault is
      indistinguishable from a genuine budget exhaustion to the caller. *)
   match Fault.on_solve () with
@@ -1317,6 +1403,8 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
     (* force a clock poll on the first budget check of this call, so an
        already-expired deadline is noticed before any conflict *)
     s.last_clock_poll <- s.conflicts - 64;
+    (* same rewind for the progress hook: fire once early in this call *)
+    s.last_progress <- s.conflicts - 64;
     s.assumptions <- Array.of_list assumptions;
     Array.iter
       (fun l ->
@@ -1354,7 +1442,7 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
         s.max_learnts <- s.max_learnts *. 1.05;
         incr restarts;
         if (not !finished) && !restarts mod inprocess_interval = 0 then begin
-          inprocess s;
+          Trace.with_span ~name:"solver.inprocess" (fun () -> inprocess s);
           if not s.ok then begin
             result := Unsat;
             finished := true
@@ -1366,6 +1454,22 @@ let solve ?(assumptions = []) ?(conflict_limit = -1) ?(deadline = 0.0) s =
       !result
     end
   end
+
+let solve ?assumptions ?conflict_limit ?deadline s =
+  if not (Trace.enabled ()) then
+    solve_raw ?assumptions ?conflict_limit ?deadline s
+  else
+    Trace.with_span ~name:"solver.solve"
+      ~args:
+        [
+          ("nvars", Trace.Int s.nvars);
+          ( "conflict_limit",
+            Trace.Int (Option.value conflict_limit ~default:(-1)) );
+        ]
+      (fun () ->
+        let r = solve_raw ?assumptions ?conflict_limit ?deadline s in
+        ignore (flush_metrics s);
+        r)
 
 let value s l =
   if not s.has_model then invalid_arg "Solver.value: no model";

@@ -88,6 +88,10 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Current cumulative statistics.  Reading also publishes the delta
+    since the previous read into the {!Qxm_obs.Metrics} registry under
+    [solver.*] counter names, so registry totals across any number of
+    solver instances agree with {!add_stats}-style aggregation. *)
 
 val zero_stats : stats
 (** All-zero statistics — the unit of {!add_stats}. *)
@@ -95,6 +99,26 @@ val zero_stats : stats
 val add_stats : stats -> stats -> stats
 (** Field-wise sum, for aggregating over several solver instances (e.g.
     the mapper's candidate fan-out). *)
+
+val stats_counters : stats -> (string * int) list
+(** The stats record as an ordered [(field-name, value)] list — the
+    canonical field enumeration shared by the metrics registry, JSON
+    reports and tests. *)
+
+(** A progress sample, delivered from inside the search loop. *)
+type progress = {
+  pr_conflicts : int;
+  pr_decisions : int;
+  pr_propagations : int;
+  pr_restarts : int;
+}
+
+val set_on_progress : t -> (progress -> unit) option -> unit
+(** Install (or clear) a progress callback.  It fires on the same
+    64-conflict cadence as the budget clock poll (plus once near the
+    start of each [solve] call), so enabling it adds no extra clock
+    reads to the inner loop.  The callback runs on the solving domain
+    and must be fast and exception-free. *)
 
 val set_phase : t -> int -> bool -> unit
 (** [set_phase s v b] seeds variable [v]'s saved phase: the next time the

@@ -18,4 +18,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("lint", Test_lint.suite);
       ("par", Test_par.suite);
+      ("obs", Test_obs.suite);
     ]

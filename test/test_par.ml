@@ -248,6 +248,22 @@ let test_jobs_equivalent_suite () =
 let test_jobs_equivalent_line5 () =
   check_jobs_equivalent ~arch:(Devices.line 5) Examples.fig1a
 
+(* Tracing must not perturb the parallel = sequential guarantee: the
+   tracer's only shared state is per-domain append buffers, so enabling
+   it changes no scheduling-visible behaviour. *)
+let test_jobs_equivalent_traced () =
+  let module Trace = Qxm_obs.Trace in
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    (fun () ->
+      check_jobs_equivalent ~arch:Devices.qx4 Examples.fig1a;
+      Alcotest.(check bool) "the traced runs recorded events" true
+        (Trace.events () <> []))
+
 (* Property: incumbent pruning never changes the optimum — pruning off
    (sequential reference) and pruning on (any worker count) agree on
    cost and layouts. *)
@@ -326,6 +342,8 @@ let suite =
       test_jobs_equivalent_suite;
     Alcotest.test_case "mapper: jobs equivalence (fig1a/line5)" `Quick
       test_jobs_equivalent_line5;
+    Alcotest.test_case "mapper: jobs equivalence with tracing on" `Quick
+      test_jobs_equivalent_traced;
     pruning_preserves_optimum;
     Alcotest.test_case "portfolio: race matches sequential" `Quick
       test_portfolio_race_matches_sequential;
