@@ -27,6 +27,27 @@ module Circuit_lint = Qxm_lint.Circuit_lint
 module Cnf_lint = Qxm_lint.Cnf_lint
 module Trace = Qxm_obs.Trace
 module Metrics = Qxm_obs.Metrics
+module Validate = Qxm_svc.Validate
+
+(* Numeric flags funnel through Qxm_svc.Validate — the same checks the
+   qxmapd request parser applies — so a zero, negative, NaN or infinite
+   budget dies at the flag with one actionable line instead of reaching
+   the solvers as a disabled deadline. *)
+let pos_float_conv ~flag ~unit =
+  let parse s =
+    match Validate.parse_pos_float ~flag ~unit s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let pos_int_conv ~flag ~unit =
+  let parse s =
+    match Validate.parse_pos_int ~flag ~unit s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%d" v)
 
 let device_conv =
   let parse s =
@@ -194,6 +215,7 @@ let portfolio_json ~input ~output (r : Portfolio.report) =
        ("f_cost", Json.int r.f_cost);
        ("total_gates", Json.int r.total_gates);
        ("provenance", Json.str (Portfolio.provenance_string r.provenance));
+       ("notes", Json.arr (List.map Json.str r.notes));
        ("optimal", Json.bool r.optimal);
        ("verified", Json.opt Json.bool r.verified);
        ("runtime_s", Json.float r.runtime);
@@ -308,9 +330,12 @@ let inject_conv =
 
 let portfolio_summary (r : Portfolio.report) =
   Printf.eprintf
-    "mapped: %d gates (overhead F = %d), provenance %s%s, %.3fs, %d solves\n"
+    "mapped: %d gates (overhead F = %d), provenance %s%s%s, %.3fs, %d solves\n"
     r.total_gates r.f_cost
     (Portfolio.provenance_string r.provenance)
+    (match r.notes with
+    | [] -> ""
+    | notes -> Printf.sprintf " [%s]" (String.concat ", " notes))
     (match r.verified with
     | Some true -> ", equivalence verified"
     | Some false -> ", VERIFICATION FAILED"
@@ -447,7 +472,7 @@ let map_cmd =
   let timeout_arg =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (pos_float_conv ~flag:"--timeout" ~unit:"seconds")) None
       & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget.")
   in
   let portfolio_arg =
@@ -463,7 +488,7 @@ let map_cmd =
   let stage_budget_arg =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (pos_float_conv ~flag:"--stage-budget" ~unit:"seconds")) None
       & info [ "stage-budget" ] ~docv:"SECONDS"
           ~doc:
             "Portfolio mode: wall-clock budget for the exact stages \
@@ -521,7 +546,9 @@ let map_cmd =
   let jobs_arg =
     Arg.(
       value
-      & opt int (Domain.recommended_domain_count ())
+      & opt
+          (pos_int_conv ~flag:"--jobs" ~unit:"worker domains")
+          (Domain.recommended_domain_count ())
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Worker domains for the parallel mapping engine (default: \
@@ -704,7 +731,7 @@ let heuristic_cmd =
   let times_arg =
     Arg.(
       value
-      & opt int 5
+      & opt (pos_int_conv ~flag:"--times" ~unit:"repetitions") 5
       & info [ "times" ] ~docv:"N"
           ~doc:"Stochastic repetitions; the best result is kept.")
   in

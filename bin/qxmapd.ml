@@ -1,0 +1,281 @@
+(* qxmapd — the mapping service daemon.
+
+   Line-JSON protocol over stdin/stdout: one request object per input
+   line, one response object per output line, correlated by "id" (the
+   daemon assigns req-N when absent).  Operations:
+
+     {"op":"map", "qasm":"...", "device":"qx4", "strategy":"minimal",
+      "budget":2.5, "cache":true, "id":"r1"}
+     {"op":"metrics"}   -> {"status":"ok","metrics":"<name value lines>"}
+     {"op":"ping"}      -> {"status":"ok"}
+     {"op":"shutdown"}  -> drain, answer, exit
+
+   EOF on stdin drains in-flight requests and exits cleanly.  Responses
+   are written as each request completes, so under -j > 1 they may be
+   out of order — correlate by id.  See doc/SERVICE.md. *)
+
+open Cmdliner
+module Daemon = Qxm_svc.Daemon
+module Sjson = Qxm_svc.Sjson
+module Validate = Qxm_svc.Validate
+module Backoff = Qxm_svc.Backoff
+module Fault = Qxm_sat.Fault
+
+(* cmdliner converters that funnel through Qxm_svc.Validate, so the
+   daemon flags and the request fields reject bad numbers with the same
+   one-line message. *)
+let pos_float_conv ~flag ~unit =
+  let parse s =
+    match Validate.parse_pos_float ~flag ~unit s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let pos_int_conv ~flag ~unit =
+  let parse s =
+    match Validate.parse_pos_int ~flag ~unit s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%d" v)
+
+let non_neg_int_conv ~flag ~unit =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "%s must be a non-negative integer of %s, got '%s'" flag unit
+                s))
+    | Some v -> (
+        match Validate.non_neg_int ~flag ~unit v with
+        | Ok v -> Ok v
+        | Error e -> Error (`Msg e))
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%d" v)
+
+(* Same fault grammar as qxmap --inject. *)
+let inject_conv =
+  let parse s =
+    let num name v =
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "bad %s count %S" name v))
+    in
+    match String.split_on_char '=' s with
+    | [ "unknown" ] -> Ok Fault.Always_unknown
+    | [ "after"; n ] -> Result.map (fun n -> Fault.After_solves n) (num "solve" n)
+    | [ "truncate"; n ] ->
+        Result.map (fun n -> Fault.Truncate_conflicts n) (num "conflict" n)
+    | [ "seed"; kp ] -> (
+        match String.split_on_char ':' kp with
+        | [ k; p ] -> (
+            match (int_of_string_opt k, float_of_string_opt p) with
+            | Some seed, Some unknown_prob
+              when unknown_prob >= 0.0 && unknown_prob <= 1.0 ->
+                Ok (Fault.Seeded { seed; unknown_prob })
+            | _ -> Error (`Msg (Printf.sprintf "bad seed spec %S" kp)))
+        | _ -> Error (`Msg "seed spec is seed=<int>:<prob>"))
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown fault spec %S (try: unknown, after=N, truncate=N, \
+                 seed=K:P)"
+                s))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.fprintf fmt "<fault>")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent result-cache directory (created if missing; corrupt \
+           entries are quarantined into DIR/quarantine on startup).  \
+           Default: in-memory cache only.")
+
+let cache_mem_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv ~flag:"--cache-mem" ~unit:"entries") 128
+    & info [ "cache-mem" ] ~docv:"N"
+        ~doc:"In-memory cache tier capacity, in entries.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the result cache entirely.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv ~flag:"--jobs" ~unit:"worker domains") 2
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains executing requests concurrently.")
+
+let watermark_arg =
+  Arg.(
+    value
+    & opt (pos_int_conv ~flag:"--queue" ~unit:"requests") 32
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission watermark: past N in-flight requests, new ones are \
+           shed with status \"shed\" and a retry_after_s hint.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some (pos_float_conv ~flag:"--budget" ~unit:"seconds")) None
+    & info [ "budget" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request wall-clock budget applied when a request \
+           carries none.  An expired request returns the best certified \
+           incumbent with a deadline_expired note.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (non_neg_int_conv ~flag:"--retries" ~unit:"attempts") 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts after a transient solve failure (exponential \
+           backoff with deterministic jitter).  0 disables retries.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write a final metrics snapshot to FILE on shutdown.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some inject_conv) None
+    & info [ "inject" ] ~docv:"FAULT"
+        ~doc:
+          "Testing knob: arm deterministic SAT fault injection (unknown, \
+           after=N, truncate=N, seed=K:P), as in qxmap map --inject.")
+
+let serve cache_dir cache_mem no_cache jobs watermark budget retries
+    metrics_out inject =
+  Option.iter Fault.arm inject;
+  let config =
+    {
+      Daemon.default_config with
+      jobs;
+      watermark;
+      default_budget = budget;
+      retry = { Backoff.default with max_attempts = retries + 1 };
+      cache_dir;
+      cache_mem;
+      use_cache = not no_cache;
+    }
+  in
+  let daemon = Daemon.create ~config () in
+  if Daemon.cache_quarantined_on_open daemon > 0 then
+    Printf.eprintf "qxmapd: quarantined %d corrupt cache entr%s on startup\n%!"
+      (Daemon.cache_quarantined_on_open daemon)
+      (if Daemon.cache_quarantined_on_open daemon = 1 then "y" else "ies");
+  let out_lock = Mutex.create () in
+  let respond json =
+    Mutex.lock out_lock;
+    print_string (Sjson.print json);
+    print_newline ();
+    flush stdout;
+    Mutex.unlock out_lock
+  in
+  let next_id = Atomic.make 0 in
+  let gen_id () = Printf.sprintf "req-%d" (Atomic.fetch_and_add next_id 1) in
+  let running = ref true in
+  while !running do
+    match In_channel.input_line stdin with
+    | None -> running := false
+    | Some line when String.trim line = "" -> ()
+    | Some line -> (
+        match Sjson.parse line with
+        | Error e ->
+            respond
+              (Sjson.Obj
+                 [
+                   ("id", Sjson.Null);
+                   ("status", Sjson.Str "invalid");
+                   ("error", Sjson.Str ("bad JSON: " ^ e));
+                 ])
+        | Ok j -> (
+            let id =
+              match Option.bind (Sjson.member "id" j) Sjson.to_string_opt with
+              | Some id -> id
+              | None -> gen_id ()
+            in
+            let op =
+              Option.value ~default:"map"
+                (Option.bind (Sjson.member "op" j) Sjson.to_string_opt)
+            in
+            match op with
+            | "ping" ->
+                respond
+                  (Sjson.Obj
+                     [ ("id", Sjson.Str id); ("status", Sjson.Str "ok") ])
+            | "metrics" ->
+                respond
+                  (Sjson.Obj
+                     [
+                       ("id", Sjson.Str id);
+                       ("status", Sjson.Str "ok");
+                       ("metrics", Sjson.Str (Daemon.metrics_text ()));
+                     ])
+            | "shutdown" ->
+                Daemon.drain daemon;
+                respond
+                  (Sjson.Obj
+                     [ ("id", Sjson.Str id); ("status", Sjson.Str "ok") ]);
+                running := false
+            | "map" -> (
+                match
+                  Daemon.parse_request ~default_budget:budget
+                    ~gen_id:(fun () -> id)
+                    j
+                with
+                | Error e ->
+                    respond
+                      (Daemon.response_json ~id (Daemon.Rejected e))
+                | Ok req ->
+                    Daemon.submit_async daemon req (fun resp ->
+                        respond (Daemon.response_json ~id resp)))
+            | other ->
+                respond
+                  (Daemon.response_json ~id
+                     (Daemon.Rejected
+                        (Printf.sprintf
+                           "unknown op %S (try: map, metrics, ping, shutdown)"
+                           other)))))
+  done;
+  Daemon.shutdown daemon;
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Daemon.metrics_text ())));
+  0
+
+let () =
+  let info =
+    Cmd.info "qxmapd" ~version:"1.0.0"
+      ~doc:
+        "Crash-safe mapping service: line-JSON requests on stdin, \
+         responses on stdout, with per-request deadlines, admission \
+         control, retry with backoff and a persistent verified result \
+         cache.  See doc/SERVICE.md."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const serve $ cache_dir_arg $ cache_mem_arg $ no_cache_arg
+            $ jobs_arg $ watermark_arg $ budget_arg $ retries_arg
+            $ metrics_out_arg $ inject_arg)))

@@ -556,20 +556,36 @@ let run ?(options = default) ?pool ?cancel ?on_progress ~arch circuit =
            re-derive it on a fresh solver with the winning cost as the only
            bound.  That makes the returned model a function of the winner
            alone — identical for every [jobs] value.  Budget-bound runs
-           fall back to the race model rather than lose it. *)
+           fall back to the race model rather than lose it — and when the
+           deadline has already expired (or the caller cancelled), the
+           re-solve is skipped outright: a fresh encode + solve would burn
+           past the budget only to be cut mid-descent, and its partial
+           result must not overwrite the race's certified status. *)
+        let expired =
+          (match deadline with
+          | Some d -> Unix.gettimeofday () > d
+          | None -> false)
+          || match cancel with Some c -> Cancel.cancelled c | None -> false
+        in
         let s =
-          if ncand <= 1 then s
+          if ncand <= 1 || expired then s
           else
             match
               Trace.with_span ~name:"mapper.canonical_resolve" (fun () ->
                   solve_instance ~options ~obs ~cancel ~deadline
                     ~bound:(Some best_cost) (inst_of sub_arch))
             with
-            | `Model s2 ->
+            | `Model s2 when s2.s_optimal ->
                 add_stats s2.s_stats;
                 solves := !solves + s2.s_solves;
-                if not s2.s_optimal then all_optimal := false;
                 s2
+            | `Model s2 ->
+                (* deadline cut the re-solve: keep the race model (and the
+                   race's own optimality verdict) instead of adopting a
+                   weaker anytime model *)
+                add_stats s2.s_stats;
+                solves := !solves + s2.s_solves;
+                s
             | `Unsat st | `Budget st ->
                 add_stats st;
                 s

@@ -80,6 +80,7 @@ type report = {
   seed : int;
   strategy_name : string;
   trajectory : (float * int) list;
+  notes : string list;
 }
 
 type failure =
@@ -114,7 +115,7 @@ let certified ~arch c =
   | Ok (), Some false -> Error "rejected: equivalence check failed"
   | Ok (), (None | Some true) -> Ok c
 
-let run ?(options = default) ?on_progress ~arch circuit =
+let run ?(options = default) ?cancel ?on_progress ~arch circuit =
   let start = Unix.gettimeofday () in
   let m = Coupling.num_qubits arch in
   let n = Circuit.num_qubits circuit in
@@ -189,8 +190,22 @@ let run ?(options = default) ?on_progress ~arch circuit =
       List.rev rev
     in
     let proved_optimal = ref false in
+    (* Set whenever the exact deadline cut the pipeline short: a rung
+       skipped for spent budget, a rung whose result was still unproven
+       when the budget ran out, or a rung that timed out outright.  The
+       report then carries a ["deadline_expired"] provenance note, so a
+       degraded answer is distinguishable from a genuinely finished one. *)
+    let deadline_hit = ref false in
     let exact_cancel = Cancel.create () in
     let heur_cancel = Cancel.create () in
+    (* The caller's supervisor token (a daemon watchdog, a batch driver)
+       reaches both lanes: cancelling it stops racing solves promptly
+       through the lane tokens the solvers poll. *)
+    (match cancel with
+    | Some sup ->
+        Cancel.attach ~parent:sup exact_cancel;
+        Cancel.attach ~parent:sup heur_cancel
+    | None -> ());
     let cancel_lane ~lane ~cause token =
       if not (Cancel.cancelled token) then begin
         Metrics.incr (Lazy.force lane_cancellations);
@@ -226,8 +241,12 @@ let run ?(options = default) ?on_progress ~arch circuit =
           ]
       @@ fun () ->
       Metrics.observe (Lazy.force ladder_budget) conflict_limit;
+      let deadline_spent () =
+        match exact_time_left () with Some l -> l <= 0.0 | None -> false
+      in
       match exact_time_left () with
       | Some left when left <= 0.0 ->
+          deadline_hit := true;
           record ~stage ~t0 ~stage_solves:0 "skipped: exact budget spent"
       | left ->
           let upper_bound =
@@ -259,12 +278,22 @@ let run ?(options = default) ?on_progress ~arch circuit =
               note_stats r.sat_stats;
               note_exact ~t0 r;
               if r.optimal && strategy = options.exact.strategy then
-                proved_optimal := true;
+                proved_optimal := true
+              else if
+                (* A deadline-bearing unlimited rung can only come back
+                   unproven because the clock cut it (possibly inside the
+                   canonical winner re-solve, which reserves a slice of
+                   the budget and stops slightly early). *)
+                not r.optimal
+                && ((conflict_limit < 0 && exact_deadline <> None)
+                   || deadline_spent ())
+              then deadline_hit := true;
               record ~stage ~t0 ~stage_solves:r.solves
                 (Printf.sprintf "%s F=%d"
                    (if r.optimal then "optimal" else "incumbent")
                    r.f_cost)
           | Error Mapper.Timeout ->
+              if deadline_spent () then deadline_hit := true;
               record ~stage ~t0 ~stage_solves:0 "budget exhausted"
           | Error Mapper.Unmappable ->
               (* With a seeded bound, UNSAT only means "nothing cheaper
@@ -319,7 +348,7 @@ let run ?(options = default) ?on_progress ~arch circuit =
         options.ladder;
       if !lost_race then
         record ~stage:"exact" ~t0:(Unix.gettimeofday ()) ~stage_solves:0
-          "cancelled: lost race";
+          "cancelled";
       let exact_candidate =
         Option.map
           (fun (r : Mapper.report) ->
@@ -427,10 +456,10 @@ let run ?(options = default) ?on_progress ~arch circuit =
       if jobs <= 1 then begin
         (* Sequential portfolio: exact stages first, heuristics only when
            optimality is still open — exactly the pre-racing pipeline. *)
-        let e = exact_lane () in
+        let e = exact_lane ~cancel:exact_cancel () in
         let h =
           if !proved_optimal && e <> None then None
-          else heuristic_lane ~on_success:ignore ()
+          else heuristic_lane ~cancel:heur_cancel ~on_success:ignore ()
         in
         (e, h)
       end
@@ -496,5 +525,13 @@ let run ?(options = default) ?on_progress ~arch circuit =
             seed = options.seed;
             strategy_name = Strategy.name options.exact.strategy;
             trajectory = final_trajectory ();
+            notes =
+              (if !deadline_hit && c.c_provenance <> Exact_optimal then
+                 [ "deadline_expired" ]
+               else [])
+              @
+              (match cancel with
+              | Some sup when Cancel.cancelled sup -> [ "cancelled" ]
+              | _ -> []);
           }
   end

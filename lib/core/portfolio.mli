@@ -133,6 +133,15 @@ type report = {
           [(seconds-since-start, cost)] entry per global incumbent
           improvement, time-ordered with strictly decreasing costs.
           Empty when no exact stage found a model. *)
+  notes : string list;
+      (** Provenance qualifiers. ["deadline_expired"]: the exact
+          deadline cut the pipeline (a rung was skipped for spent
+          budget, or came back unproven when the clock — possibly
+          during the canonical winner re-solve — ran out), so the
+          returned answer is the certified incumbent rather than a
+          finished proof.  ["cancelled"]: the caller's supervisor token
+          was cancelled during the run.  Empty for a run that finished
+          inside its budgets. *)
 }
 
 type failure =
@@ -146,6 +155,7 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val run :
   ?options:options ->
+  ?cancel:Qxm_par.Cancel.t ->
   ?on_progress:(Mapper.progress -> unit) ->
   arch:Qxm_arch.Coupling.t ->
   Qxm_circuit.Circuit.t ->
@@ -153,6 +163,13 @@ val run :
 (** Map [circuit] onto [arch] with graceful degradation.  Never raises
     on engine failures (they become [stages] telemetry); the input
     contract is the same as {!Mapper.run}'s (no SWAP gates).
+
+    [?cancel] is a supervisor token (e.g. a daemon watchdog's): it is
+    attached above both lanes' own tokens, so cancelling it stops
+    queued rungs at the next stage boundary and racing solves promptly
+    via [Solver.set_stop].  The run then returns the best certified
+    candidate found so far (with a ["cancelled"] note), or
+    [Exhausted] when nothing was certified yet.
 
     [?on_progress] receives the exact stages' live progress samples with
     [p_phase] set to the portfolio stage name (e.g. ["exact:4000"]) and

@@ -16,3 +16,11 @@ val cancelled : t -> bool
 
 val flag : t -> bool Atomic.t
 (** The underlying atomic, for [Qxm_sat.Solver.set_stop]. *)
+
+val attach : parent:t -> t -> unit
+(** Link [child] so that cancelling [parent] also cancels it (the
+    reverse does not hold: a child can be cancelled alone).  Attaching
+    to an already-cancelled parent cancels the child immediately.  This
+    is how a supervisor token — a daemon request's deadline watchdog —
+    reaches the per-lane tokens that the solvers actually poll through
+    [Solver.set_stop], which needs a single atomic per solver. *)

@@ -1,0 +1,57 @@
+type policy = {
+  max_attempts : int;
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base = 0.05;
+    factor = 4.0;
+    max_delay = 2.0;
+    jitter = 0.2;
+    seed = 1;
+  }
+
+(* splitmix64 finalizer: a well-mixed 64-bit hash of (seed, attempt),
+   giving an independent uniform draw per attempt without any state. *)
+let uniform ~seed ~attempt =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int seed) 0x9E3779B97F4A7C15L)
+      (Int64.mul (Int64.of_int attempt) 0xBF58476D1CE4E5B9L)
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let mant = Int64.to_int (Int64.shift_right_logical z 11) in
+  float_of_int mant /. 9007199254740992.0 (* 2^53 *)
+
+let delay p ~attempt =
+  let raw = p.base *. (p.factor ** float_of_int (max 0 (attempt - 1))) in
+  let capped = Float.min raw p.max_delay in
+  let u = uniform ~seed:p.seed ~attempt in
+  capped *. (1.0 -. p.jitter +. (p.jitter *. u))
+
+let retry ?(sleep = Unix.sleepf) p ?(on_retry = fun ~attempt:_ ~delay:_ -> ())
+    f =
+  let attempts = max 1 p.max_attempts in
+  let rec go attempt =
+    match f ~attempt with
+    | Ok _ as ok -> ok
+    | Error _ as err ->
+        if attempt >= attempts then err
+        else begin
+          let d = delay p ~attempt in
+          on_retry ~attempt ~delay:d;
+          sleep d;
+          go (attempt + 1)
+        end
+  in
+  go 1

@@ -1,0 +1,64 @@
+(** Content-addressed result cache: in-memory LRU over a crash-safe
+    persistent disk tier.
+
+    Keys are 32-hex-digit content digests ({!Chash.digest} of the
+    request's canonical bytes: circuit QASM, device edges, strategy,
+    budget, cost model); values are opaque payload strings (the daemon
+    stores the serialized response).  The cache never interprets the
+    payload — the daemon re-verifies every hit through [Certify] before
+    serving it, and calls {!invalidate} if verification fails.
+
+    {2 Disk format and crash safety}
+
+    One entry per file, [<key>.entry], containing a single header line
+    [QXMCACHE1 <payload-digest> <payload-length>] followed by the raw
+    payload bytes.  Writes go to a [.tmp] sibling first, are flushed
+    and fsynced, then renamed over the final name — on POSIX the rename
+    is atomic, so a reader (or a crash at any instant) sees either the
+    complete old entry, the complete new entry, or a stray [.tmp] file,
+    never a half-written [.entry].
+
+    {2 Recovery}
+
+    {!create} scans the directory: entries whose header is malformed,
+    whose length disagrees with the file, or whose digest does not match
+    the payload are moved into a [quarantine/] subdirectory (preserved
+    for inspection, never deleted) and counted on the
+    [svc.cache_quarantined] counter; leftover [.tmp] files from an
+    interrupted write are quarantined the same way.  A corrupt entry is
+    therefore an observable, recoverable event — the request that would
+    have hit it falls through to a fresh solve — and never a startup
+    failure.  The same validation runs on every disk read, so
+    corruption that happens {e after} startup is caught (and
+    quarantined) at hit time too. *)
+
+type t
+
+val create : ?dir:string -> ?mem_capacity:int -> unit -> t
+(** [mem_capacity] (default 128) bounds the in-memory tier; [dir]
+    enables the disk tier (created, with its quarantine subdirectory,
+    if missing).  Runs the recovery scan.
+    @raise Invalid_argument on a non-positive capacity.
+    @raise Sys_error / Unix.Unix_error if [dir] cannot be created. *)
+
+val quarantined_on_open : t -> int
+(** Entries (and stray temp files) quarantined by this instance's
+    startup scan. *)
+
+val find : t -> key:string -> string option
+(** Memory first, then disk (validated, then promoted to memory).
+    Counts [svc.cache_hits_mem] / [svc.cache_hits_disk] /
+    [svc.cache_misses]. *)
+
+val store : t -> key:string -> string -> unit
+(** Insert into both tiers (atomically on disk).  A disk-tier write
+    failure (e.g. a full disk) degrades to memory-only and is counted
+    on [svc.cache_store_errors] — the cache never takes the service
+    down. *)
+
+val invalidate : t -> key:string -> unit
+(** Drop the key from memory and quarantine its disk entry (used when a
+    hit fails [Certify] re-verification). *)
+
+val mem_size : t -> int
+val dir : t -> string option

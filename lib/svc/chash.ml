@@ -1,0 +1,19 @@
+let prime = 0x100000001b3L
+
+let fnv ~basis s =
+  let h = ref basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fnv64 s = fnv ~basis:0xcbf29ce484222325L s
+
+(* Alternate basis: the standard one hashed through itself, giving an
+   unrelated starting state for the second stream. *)
+let fnv64b s = fnv ~basis:0xaf63bd4c8601b7dfL s
+
+let hex64 h = Printf.sprintf "%016Lx" h
+let digest s = hex64 (fnv64 s) ^ hex64 (fnv64b s)

@@ -1,0 +1,25 @@
+(** Content hashing for the result cache.
+
+    Cache keys and on-disk entry checksums both use FNV-1a over the
+    canonical byte representation of the content.  FNV is not
+    cryptographic — the cache defends against {e accidental} corruption
+    and collisions, not an adversary writing into its own cache
+    directory — and two independent 64-bit streams (different offset
+    bases) drive the collision probability for honest inputs far below
+    the failure rates the quarantine machinery already handles.  Every
+    cache hit is additionally re-verified through [Certify] before it is
+    served, so even a colliding entry can only be served if it is a
+    structurally valid mapping for the {e requested} architecture. *)
+
+val fnv64 : string -> int64
+(** FNV-1a, 64-bit, standard offset basis. *)
+
+val fnv64b : string -> int64
+(** Second independent stream (alternate offset basis). *)
+
+val hex64 : int64 -> string
+(** 16 lowercase hex digits. *)
+
+val digest : string -> string
+(** [hex64 (fnv64 s) ^ hex64 (fnv64b s)] — the 32-hex-digit content
+    digest used for cache keys and entry checksums. *)

@@ -19,4 +19,5 @@ let () =
       ("lint", Test_lint.suite);
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
+      ("svc", Test_svc.suite);
     ]
