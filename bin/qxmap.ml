@@ -98,6 +98,32 @@ let load path =
     Printf.eprintf "%s:%d: %s\n" path line message;
     exit 2
 
+(* Certificates record a device name for the reader's benefit; recover
+   it from the coupling map (the edge list stays authoritative). *)
+let device_name_of arch =
+  match
+    List.find_opt
+      (fun n ->
+        match Devices.by_name n with
+        | Some d -> Coupling.equal d arch
+        | None -> false)
+      Devices.names
+  with
+  | Some n -> n
+  | None -> "custom"
+
+let write_certificate path build =
+  match build () with
+  | Ok cert ->
+      let oc = open_out path in
+      output_string oc (Qxm_audit.Certificate.to_string cert);
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "certificate: %s\n" path
+  | Error m ->
+      Printf.eprintf "certificate: not emitted: %s\n" m;
+      exit 1
+
 let emit output circuit =
   match output with
   | None -> print_string (Qasm.to_string circuit)
@@ -588,6 +614,18 @@ let map_cmd =
              time, current phase, best objective cost so far, \
              cumulative conflicts and conflicts/s, restarts.")
   in
+  let certificate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certificate" ] ~docv:"OUT.json"
+          ~doc:
+            "Emit a self-contained optimality certificate (QXMCERT1 \
+             JSON: circuit, device, model, bound ladder, DRUP proof) \
+             for offline re-validation with $(b,qxm_audit).  Requires \
+             the run to prove minimality; exits 1 otherwise.  See \
+             doc/CERTIFICATES.md.")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -603,7 +641,7 @@ let map_cmd =
   in
   let run input device strategy subsets timeout portfolio stage_budget
       fallback inject lint sanitize solver_stats jobs trace events progress
-      json output draw =
+      certificate json output draw =
     let jobs = max 1 jobs in
     if sanitize then Solver.set_sanitize_all true;
     if trace <> None || events <> None then Trace.enable ();
@@ -650,7 +688,13 @@ let map_cmd =
         {
           Portfolio.default with
           exact =
-            { Mapper.default with strategy; use_subsets = subsets; jobs };
+            {
+              Mapper.default with
+              strategy;
+              use_subsets = subsets;
+              jobs;
+              certificate = certificate <> None;
+            };
           budget = timeout;
           exact_budget = stage_budget;
           cascade = fallback;
@@ -665,6 +709,13 @@ let map_cmd =
           if solver_stats then print_sat_stats r.sat_stats;
           if draw && not json then Draw.print r.elementary;
           lint_output r.elementary;
+          Option.iter
+            (fun path ->
+              write_certificate path (fun () ->
+                  Qxm_audit.Emit.of_portfolio
+                    ~device_name:(device_name_of device) ~arch:device
+                    ~circuit ~options r))
+            certificate;
           if json then begin
             Option.iter (fun path -> Qasm.write_file path r.elementary) output;
             print_endline (portfolio_json ~input ~output r)
@@ -679,7 +730,14 @@ let map_cmd =
     end
     else begin
       let options =
-        { Mapper.default with strategy; use_subsets = subsets; timeout; jobs }
+        {
+          Mapper.default with
+          strategy;
+          use_subsets = subsets;
+          timeout;
+          jobs;
+          certificate = certificate <> None;
+        }
       in
       match Mapper.run ~options ?on_progress ~arch:device circuit with
       | Ok r ->
@@ -689,6 +747,13 @@ let map_cmd =
           if solver_stats then print_sat_stats r.sat_stats;
           if draw && not json then Draw.print r.elementary;
           lint_output r.elementary;
+          Option.iter
+            (fun path ->
+              write_certificate path (fun () ->
+                  Qxm_audit.Emit.of_report
+                    ~device_name:(device_name_of device) ~arch:device
+                    ~circuit ~options r))
+            certificate;
           if json then begin
             Option.iter (fun path -> Qasm.write_file path r.elementary) output;
             print_endline (mapper_json ~input ~output r)
@@ -711,8 +776,8 @@ let map_cmd =
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
       $ inject_arg $ lint_arg $ sanitize_arg $ solver_stats_arg $ jobs_arg
-      $ trace_arg $ events_arg $ progress_arg $ json_arg $ output_arg
-      $ draw_arg)
+      $ trace_arg $ events_arg $ progress_arg $ certificate_arg $ json_arg
+      $ output_arg $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

@@ -6,6 +6,8 @@
 
      {"op":"map", "qasm":"...", "device":"qx4", "strategy":"minimal",
       "budget":2.5, "cache":true, "id":"r1"}
+     {"op":"audit", "key":"..."} (or the same fields as "map")
+                        -> re-validate the stored optimality certificate
      {"op":"metrics"}   -> {"status":"ok","metrics":"<name value lines>"}
      {"op":"ping"}      -> {"status":"ok"}
      {"op":"shutdown"}  -> drain, answer, exit
@@ -16,7 +18,7 @@
 
 open Cmdliner
 module Daemon = Qxm_svc.Daemon
-module Sjson = Qxm_svc.Sjson
+module Sjson = Qxm_json.Sjson
 module Validate = Qxm_svc.Validate
 module Backoff = Qxm_svc.Backoff
 module Fault = Qxm_sat.Fault
@@ -110,6 +112,17 @@ let no_cache_arg =
     value & flag
     & info [ "no-cache" ] ~doc:"Disable the result cache entirely.")
 
+let certificates_arg =
+  Arg.(
+    value & flag
+    & info [ "certificates" ]
+        ~doc:
+          "Store a QXMCERT1 optimality certificate next to each cache \
+           entry for every freshly solved proven-optimal answer \
+           (requires --cache-dir).  Certificates are re-validated \
+           offline with qxm_audit, or in-band with the \"audit\" op.  \
+           See doc/CERTIFICATES.md.")
+
 let jobs_arg =
   Arg.(
     value
@@ -161,9 +174,13 @@ let inject_arg =
           "Testing knob: arm deterministic SAT fault injection (unknown, \
            after=N, truncate=N, seed=K:P), as in qxmap map --inject.")
 
-let serve cache_dir cache_mem no_cache jobs watermark budget retries
-    metrics_out inject =
+let serve cache_dir cache_mem no_cache certificates jobs watermark budget
+    retries metrics_out inject =
   Option.iter Fault.arm inject;
+  if certificates && cache_dir = None then begin
+    Printf.eprintf "qxmapd: --certificates requires --cache-dir\n%!";
+    exit 2
+  end;
   let config =
     {
       Daemon.default_config with
@@ -174,6 +191,7 @@ let serve cache_dir cache_mem no_cache jobs watermark budget retries
       cache_dir;
       cache_mem;
       use_cache = not no_cache;
+      certificates;
     }
   in
   let daemon = Daemon.create ~config () in
@@ -247,12 +265,51 @@ let serve cache_dir cache_mem no_cache jobs watermark budget retries
                 | Ok req ->
                     Daemon.submit_async daemon req (fun resp ->
                         respond (Daemon.response_json ~id resp)))
+            | "audit" -> (
+                (* Re-validate the stored certificate of a previous map
+                   request: either by explicit cache "key", or by the
+                   same request fields, re-deriving the key. *)
+                let key =
+                  match
+                    Option.bind (Sjson.member "key" j) Sjson.to_string_opt
+                  with
+                  | Some key -> Ok key
+                  | None ->
+                      Result.map Daemon.cache_key
+                        (Daemon.parse_request ~default_budget:budget
+                           ~gen_id:(fun () -> id)
+                           j)
+                in
+                match Result.bind key (fun key ->
+                        Result.map (fun r -> (key, r))
+                          (Daemon.audit_certificate daemon ~key))
+                with
+                | Error e ->
+                    respond (Daemon.response_json ~id (Daemon.Rejected e))
+                | Ok (key, report) ->
+                    respond
+                      (Sjson.Obj
+                         [
+                           ("id", Sjson.Str id);
+                           ("status", Sjson.Str "ok");
+                           ("key", Sjson.Str key);
+                           ( "audit_ok",
+                             Sjson.Bool report.Qxm_audit.Auditor.ok );
+                           ( "diagnostics",
+                             Sjson.List
+                               (List.map
+                                  (fun d ->
+                                    Sjson.Str
+                                      (Qxm_lint.Diagnostic.to_string d))
+                                  report.Qxm_audit.Auditor.diagnostics) );
+                         ]))
             | other ->
                 respond
                   (Daemon.response_json ~id
                      (Daemon.Rejected
                         (Printf.sprintf
-                           "unknown op %S (try: map, metrics, ping, shutdown)"
+                           "unknown op %S (try: map, audit, metrics, ping, \
+                            shutdown)"
                            other)))))
   done;
   Daemon.shutdown daemon;
@@ -277,5 +334,5 @@ let () =
        (Cmd.v info
           Term.(
             const serve $ cache_dir_arg $ cache_mem_arg $ no_cache_arg
-            $ jobs_arg $ watermark_arg $ budget_arg $ retries_arg
-            $ metrics_out_arg $ inject_arg)))
+            $ certificates_arg $ jobs_arg $ watermark_arg $ budget_arg
+            $ retries_arg $ metrics_out_arg $ inject_arg)))

@@ -22,8 +22,11 @@ type cell = {
   pruned : int;
 }
 
-let run_exact ~arch ~timeout ~jobs ~strategy ~use_subsets ?upper_bound circuit
-    =
+(* [?cert] = (device_name, output path): run with witness capture and,
+   when the row completes with a proven optimum, drop a QXMCERT1
+   certificate for offline re-validation with qxm_audit. *)
+let run_exact ~arch ~timeout ~jobs ~strategy ~use_subsets ?upper_bound ?cert
+    circuit =
   let options =
     {
       Mapper.default with
@@ -33,6 +36,7 @@ let run_exact ~arch ~timeout ~jobs ~strategy ~use_subsets ?upper_bound circuit
       verify = true;
       upper_bound;
       jobs;
+      certificate = cert <> None;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -42,6 +46,18 @@ let run_exact ~arch ~timeout ~jobs ~strategy ~use_subsets ?upper_bound circuit
       | Some false ->
           prerr_endline "FATAL: mapped circuit failed unitary verification";
           exit 1
+      | _ -> ());
+      (match cert with
+      | Some (device_name, path) when r.optimal -> (
+          match
+            Qxm_audit.Emit.of_report ~device_name ~arch ~circuit ~options r
+          with
+          | Ok c ->
+              let oc = open_out path in
+              output_string oc (Qxm_audit.Certificate.to_string c);
+              output_char oc '\n';
+              close_out oc
+          | Error m -> Printf.eprintf "certificate %s not emitted: %s\n" path m)
       | _ -> ());
       {
         cost = Some r.total_gates;
@@ -89,6 +105,7 @@ let () =
   let device = ref "qx4" in
   let times = ref 5 in
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let certdir = ref None in
   let spec =
     [
       ("--timeout", Arg.Set_float timeout, "<s> per-configuration budget");
@@ -102,6 +119,9 @@ let () =
       ("-j", Arg.Set_int jobs,
        "<n> worker domains for the mapping engine (1 = sequential; \
         default: recommended domain count)");
+      ("--certificates", Arg.String (fun d -> certdir := Some d),
+       "<dir> emit a QXMCERT1 optimality certificate per proven-minimal \
+        row of the minimal-strategy columns (audit with qxm_audit)");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
@@ -125,6 +145,17 @@ let () =
                | None ->
                    Printf.eprintf "unknown benchmark %s\n" n;
                    exit 2)
+  in
+  Option.iter
+    (fun d ->
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    !certdir;
+  let cert_for name tag =
+    Option.map
+      (fun d ->
+        (!device, Filename.concat d (Printf.sprintf "%s.%s.cert.json" name tag)))
+      !certdir
   in
   let csv_oc = Option.map open_out !csv in
   let json_records = ref [] in
@@ -188,14 +219,15 @@ let () =
             run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
               ~use_subsets:false
               ?upper_bound:(min_bound (Some ibm.f_cost) strategy_bound)
-              circuit
+              ?cert:(cert_for e.name "min") circuit
           in
           (c, c)
         end
         else begin
           let csub =
             run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
-              ~use_subsets:true ?upper_bound:strategy_bound circuit
+              ~use_subsets:true ?upper_bound:strategy_bound
+              ?cert:(cert_for e.name "sub") circuit
           in
           let bound =
             min_bound (f_of csub)
@@ -203,7 +235,8 @@ let () =
           in
           let cmin =
             run_exact ~arch ~timeout:!timeout ~jobs:(max 1 !jobs) ~strategy:Strategy.Minimal
-              ~use_subsets:false ?upper_bound:bound circuit
+              ~use_subsets:false ?upper_bound:bound
+              ?cert:(cert_for e.name "min") circuit
           in
           (cmin, csub)
         end

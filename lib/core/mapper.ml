@@ -32,6 +32,7 @@ type options = {
   incumbent_pruning : bool;
   warm_start : bool;
   seed : int;
+  certificate : bool;
 }
 
 let candidates_pruned = lazy (Metrics.counter "mapper.candidates_pruned")
@@ -61,7 +62,26 @@ let default =
     incumbent_pruning = true;
     warm_start = true;
     seed = 0;
+    certificate = false;
   }
+
+(* Raw optimality evidence for certificate emission (only populated when
+   [options.certificate] is set): the winning instance, its satisfying
+   model, and the solver's own DRUP trace for the final UNSAT rung.
+   Everything an offline auditor needs that the polished [report] fields
+   no longer expose. *)
+type witness = {
+  w_strategy : Strategy.t;  (* strategy whose encoding [w_model] satisfies *)
+  w_sub_arch : Coupling.t;  (* winning candidate sub-architecture *)
+  w_back : int array;  (* instance position -> device qubit, ascending *)
+  w_model : bool array;  (* satisfying model over the instance encoding *)
+  w_cost : int;  (* the model's objective value — the claimed F* *)
+  w_mapped_inst : Circuit.t;  (* mapped circuit in instance space *)
+  w_init_full : int array;  (* full wire -> position maps, instance space *)
+  w_final_full : int array;
+  w_proof : Qxm_sat.Proof.t option;  (* DRUP trace of the F*-1 UNSAT *)
+  w_bounds : int list;  (* bounds enforced on the PB circuit, in order *)
+}
 
 type report = {
   mapped : Circuit.t;
@@ -84,6 +104,7 @@ type report = {
   strategy_name : string;
   trajectory : (float * int) list;
   phase_seconds : (string * float) list;
+  witness : witness option;
 }
 
 type progress = {
@@ -185,6 +206,8 @@ type solved = {
   s_optimal : bool;
   s_solves : int;
   s_stats : Solver.stats;
+  s_proof : Qxm_sat.Proof.t option;
+  s_bounds : int list;
 }
 
 (* Route the candidate's CNOT skeleton with the deterministic SABRE
@@ -267,6 +290,7 @@ type obs = {
 
 let solve_instance ~(options : options) ~obs ~cancel ~deadline ~bound inst =
   let solver = Solver.create () in
+  if options.certificate then Solver.enable_proof solver;
   if options.seed <> 0 then Solver.set_random_seed solver options.seed;
   obs.obs_solver solver;
   (match cancel with
@@ -301,7 +325,8 @@ let solve_instance ~(options : options) ~obs ~cancel ~deadline ~bound inst =
   let stats = Solver.stats solver in
   match outcome with
   | { unsatisfiable = true; _ } -> `Unsat stats
-  | { model = Some model; cost = Some cost; optimal; solves; _ } ->
+  | { model = Some model; cost = Some cost; optimal; solves; proof; bounds; _ }
+    ->
       `Model
         {
           s_model = model;
@@ -310,6 +335,8 @@ let solve_instance ~(options : options) ~obs ~cancel ~deadline ~bound inst =
           s_optimal = optimal;
           s_solves = solves;
           s_stats = stats;
+          s_proof = proof;
+          s_bounds = bounds;
         }
   | _ -> `Budget stats
 
@@ -623,6 +650,23 @@ let run ?(options = default) ?pool ?cancel ?on_progress ~arch circuit =
         (* with the paper's weights the objective value bounds the real
            gate overhead; custom weights use different units *)
         assert (options.costs <> Encoding.paper_costs || f_cost <= objective_cost);
+        let witness =
+          if options.certificate then
+            Some
+              {
+                w_strategy = options.strategy;
+                w_sub_arch = sub_arch;
+                w_back = back;
+                w_model = s.s_model;
+                w_cost = s.s_cost;
+                w_mapped_inst = mapped_inst;
+                w_init_full = init_full;
+                w_final_full = final_full;
+                w_proof = s.s_proof;
+                w_bounds = s.s_bounds;
+              }
+          else None
+        in
         let report =
           {
             mapped;
@@ -651,6 +695,7 @@ let run ?(options = default) ?pool ?cancel ?on_progress ~arch circuit =
                   ( name,
                     Option.value ~default:0.0 (Hashtbl.find_opt phases name) ))
                 [ "encode"; "warm_start"; "solve"; "reconstruct"; "verify" ];
+            witness;
           }
         in
         if !pruned > 0 then Metrics.add (Lazy.force candidates_pruned) !pruned;

@@ -76,6 +76,15 @@ type options = {
           call creates.  Whatever the value, the report records the
           seed actually in force ([report.seed]) so a run can be
           reproduced from its own output. *)
+  certificate : bool;
+      (** Record the raw evidence needed for an offline optimality
+          certificate (off by default): every solver this call creates
+          logs a DRUP trace, and the report carries a {!witness} with
+          the winning instance, model, enforced bounds and final-rung
+          proof.  [Qxm_audit.Emit] turns a witnessed report into a
+          self-contained certificate file.  Logging costs memory
+          proportional to the learnt-clause traffic, so leave this off
+          for latency-sensitive paths. *)
 }
 
 val default : options
@@ -83,6 +92,33 @@ val default : options
     linear descent, sequential AMO, verification on, incumbent pruning
     on, warm starts on, and [jobs] from the [QXM_JOBS] environment
     variable (default 1). *)
+
+(** Raw optimality evidence carried by a report when
+    [options.certificate] was set: everything instance-local an offline
+    auditor needs to re-derive the encoding and replay the proof.
+    Positions refer to the winning candidate sub-architecture
+    ([w_sub_arch]); [w_back] maps them to device qubits. *)
+type witness = {
+  w_strategy : Strategy.t;
+      (** the strategy whose encoding [w_model] and [w_proof] live over —
+          under {!Qxm_exact.Portfolio} this can be a relaxed probe
+          strategy rather than the one the caller requested *)
+  w_sub_arch : Qxm_arch.Coupling.t;
+  w_back : int array;  (** instance position → device qubit, ascending *)
+  w_model : bool array;  (** satisfying model over the instance encoding *)
+  w_cost : int;  (** the model's objective value — the claimed F* *)
+  w_mapped_inst : Qxm_circuit.Circuit.t;
+      (** mapped circuit in instance space, with explicit SWAPs *)
+  w_init_full : int array;  (** full wire → position maps (idle extras *)
+  w_final_full : int array;  (** included), before/after the circuit *)
+  w_proof : Qxm_sat.Proof.t option;
+      (** DRUP trace of the final UNSAT rung ("no model with F ≤ last
+          enforced bound"); [None] when the optimizer never reached an
+          assumption-free UNSAT (e.g. cost 0, or binary search). *)
+  w_bounds : int list;
+      (** bounds permanently enforced on the PB circuit, in call order
+          ({!Qxm_opt.Minimize.outcome.bounds} of the winning solve) *)
+}
 
 type report = {
   mapped : Qxm_circuit.Circuit.t;
@@ -138,6 +174,9 @@ type report = {
           candidate: [encode], [warm_start], [solve], [reconstruct],
           [verify] (always all five, zero when unused).  With parallel
           candidates the stage sums can exceed [runtime]. *)
+  witness : witness option;
+      (** Raw optimality evidence, present iff [options.certificate]
+          was set. *)
 }
 
 (** A live progress sample, delivered while {!run} is working. *)

@@ -81,6 +81,7 @@ type report = {
   strategy_name : string;
   trajectory : (float * int) list;
   notes : string list;
+  witness : Mapper.witness option;
 }
 
 type failure =
@@ -107,6 +108,7 @@ type candidate = {
   c_total : int;
   c_verified : bool option;
   c_provenance : provenance;
+  c_witness : Mapper.witness option;
 }
 
 let certified ~arch c =
@@ -362,6 +364,7 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
               c_verified = r.verified;
               c_provenance =
                 (if !proved_optimal then Exact_optimal else Exact_incumbent);
+              c_witness = r.witness;
             })
           !best_exact
       in
@@ -406,6 +409,7 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
                       c_total = r.total_gates;
                       c_verified = r.verified;
                       c_provenance = Heuristic name;
+                      c_witness = None;
                     }
                 | Astar ->
                     let r = Astar.run ~verify ~arch circuit in
@@ -418,6 +422,7 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
                       c_total = r.total_gates;
                       c_verified = r.verified;
                       c_provenance = Heuristic name;
+                      c_witness = None;
                     }
                 | Stochastic ->
                     let r =
@@ -433,6 +438,7 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
                       c_total = r.total_gates;
                       c_verified = r.verified;
                       c_provenance = Heuristic name;
+                      c_witness = None;
                     }
               with
               | candidate -> (
@@ -525,6 +531,7 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
             seed = options.seed;
             strategy_name = Strategy.name options.exact.strategy;
             trajectory = final_trajectory ();
+            witness = c.c_witness;
             notes =
               (if !deadline_hit && c.c_provenance <> Exact_optimal then
                  [ "deadline_expired" ]

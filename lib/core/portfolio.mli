@@ -142,6 +142,14 @@ type report = {
           finished proof.  ["cancelled"]: the caller's supervisor token
           was cancelled during the run.  Empty for a run that finished
           inside its budgets. *)
+  witness : Mapper.witness option;
+      (** Raw optimality evidence from the winning exact stage, present
+          iff the chosen answer came from the exact lane and
+          [options.exact.certificate] was set.  [None] for heuristic
+          answers — only exact results can witness optimality.  Note
+          that on the "no improvement on incumbent" path the witness's
+          own proof can predate the final rung; [Qxm_audit.Emit]
+          re-proves the bound directly in that case. *)
 }
 
 type failure =

@@ -14,6 +14,8 @@ type outcome = {
   solves : int;
   unsatisfiable : bool;
   trajectory : (float * int) list;
+  proof : Qxm_sat.Proof.t option;
+  bounds : int list;
 }
 
 let step_conflicts = lazy (Metrics.histogram "minimize.step_conflicts")
@@ -64,11 +66,20 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
       ((Solver.stats solver).Solver.conflicts - before);
     r
   in
+  (* Certificate support: record every bound permanently enforced on the
+     PB circuit (in order), and capture the solver's DRUP trace at the
+     assumption-free UNSAT answers — only those end in the empty clause,
+     so Binary_search (assumption-driven) never yields a proof. *)
+  let rev_bounds = ref [] in
+  let enforce pb b =
+    rev_bounds := b :: !rev_bounds;
+    Pb.enforce_at_most cnf pb b
+  in
   let seeded_pb =
     match upper_bound with
     | Some b when objective <> [] ->
         let pb = Pb.build cnf objective in
-        Pb.enforce_at_most cnf pb b;
+        enforce pb b;
         Some pb
     | _ -> None
   in
@@ -81,6 +92,8 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         solves = !solves;
         unsatisfiable = true;
         trajectory = [];
+        proof = Solver.proof solver;
+        bounds = List.rev !rev_bounds;
       }
   | Solver.Unknown ->
       {
@@ -90,11 +103,14 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         solves = !solves;
         unsatisfiable = false;
         trajectory = [];
+        proof = None;
+        bounds = List.rev !rev_bounds;
       }
   | Solver.Sat ->
       let best_model = ref (Solver.model solver) in
       let best = ref (cost_of_model objective !best_model) in
       let optimal = ref false in
+      let proof = ref None in
       note !best;
       if !best = 0 then optimal := true
       else begin
@@ -106,7 +122,7 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
             let stop = ref false in
             while not !stop do
               let bound = Pb.tighten pb (!best - 1) in
-              Pb.enforce_at_most cnf pb bound;
+              enforce pb bound;
               match solve () with
               | Solver.Sat ->
                   best_model := Solver.model solver;
@@ -118,6 +134,7 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
                   end
               | Solver.Unsat ->
                   optimal := true;
+                  proof := Solver.proof solver;
                   stop := true
               | Solver.Unknown -> stop := true
             done
@@ -157,4 +174,6 @@ let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
         solves = !solves;
         unsatisfiable = false;
         trajectory = List.rev !rev_trajectory;
+        proof = !proof;
+        bounds = List.rev !rev_bounds;
       }

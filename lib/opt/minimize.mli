@@ -27,6 +27,19 @@ type outcome = {
           decreasing and the last entry equals [cost]).  Timestamps are
           absolute [Unix.gettimeofday] values; callers rebase them to
           their own origin. *)
+  proof : Qxm_sat.Proof.t option;
+      (** DRUP trace captured at the final assumption-free [Unsat]
+          answer, when the solver had proof logging enabled.  For
+          [Linear_descent] this certifies "no model with F ≤ last
+          enforced bound"; combined with [cost] it witnesses
+          optimality.  [Binary_search] bisects with assumptions, whose
+          UNSAT answers carry no empty clause, so it never sets this. *)
+  bounds : int list;
+      (** Every bound permanently enforced on the PB circuit
+          ({!Qxm_encode.Pb.enforce_at_most} arguments, in call order,
+          including the seeded [upper_bound]).  Replaying these calls
+          reproduces the exact solver input stream, which is how an
+          offline auditor re-derives the proof's input clauses. *)
 }
 
 val minimize :

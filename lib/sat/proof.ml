@@ -1,35 +1,65 @@
-type step = Learn of Lit.t array
+type step = Learn of Lit.t array | Delete of Lit.t array
 
 type t = { inputs : Lit.t array list; steps : step list }
 
 type verdict = Valid | Invalid of { step_index : int; reason : string }
 
-(* Counter-based unit propagation over a growing clause database.  For
-   each RUP check we assert the negation of the candidate clause, run
-   propagation, and expect a conflict; all trail effects are undone
-   afterwards, so counters stay consistent across steps. *)
+let default_max_steps = 2_000_000
+
+(* Counter-based unit propagation over a growing clause database with
+   deletions.  Top-level (persistent) units propagate once, when the
+   clause that implies them arrives, and stay assigned across steps: a
+   RUP check only asserts ¬C above the [watermark] and undoes back down
+   to it, so the per-step cost tracks the solver's own propagation
+   instead of replaying every unit from scratch (which made the old
+   checker quadratic in the number of learnt units).
+
+   For the backward check, every variable keeps the index of the clause
+   that propagated it ([reason], -1 for asserted literals), and each
+   accepted step materializes — before its trail is undone — the set of
+   clauses its conflict touched: the conflicting clause plus the reason
+   chains of all literals involved. *)
+
+type conflict = { c_clause : int; c_var : int }
+(* Either field may be -1: [c_clause] is the falsified clause (or the
+   clause whose unit consequence contradicted an assignment), [c_var]
+   the variable whose prior assignment clashed. *)
 
 type db = {
   mutable clauses : Lit.t array array;
+  mutable origin : int array; (* >=0: step index; <0: input -(j+1) *)
+  mutable live : bool array;
   mutable nclauses : int;
   mutable false_count : int array; (* per clause: #currently-false lits *)
   mutable occurs : int list array; (* per literal: clauses containing it *)
   mutable assign : int array; (* per var: 0 unassigned, 1 true, -1 false *)
+  mutable reason : int array; (* per var: implying clause index, or -1 *)
   mutable nvars : int;
-  mutable has_empty : bool;
-  trail : int Stack.t; (* assigned literals, for undo *)
+  mutable root_conflict : conflict option; (* DB contradictory at top level *)
+  mutable trail : Lit.t array;
+  mutable trail_len : int;
+  mutable qhead : int; (* trail prefix whose counters are applied *)
+  mutable watermark : int; (* persistent trail prefix *)
+  index : (string, int list ref) Hashtbl.t; (* clause key -> live indices *)
 }
 
 let create_db () =
   {
     clauses = [||];
+    origin = [||];
+    live = [||];
     nclauses = 0;
     false_count = [||];
     occurs = [||];
     assign = [||];
+    reason = [||];
     nvars = 0;
-    has_empty = false;
-    trail = Stack.create ();
+    root_conflict = None;
+    trail = Array.make 64 (Lit.pos 0);
+    trail_len = 0;
+    qhead = 0;
+    watermark = 0;
+    index = Hashtbl.create 1024;
   }
 
 let ensure_var db v =
@@ -38,6 +68,9 @@ let ensure_var db v =
     let assign = Array.make n 0 in
     Array.blit db.assign 0 assign 0 db.nvars;
     db.assign <- assign;
+    let reason = Array.make n (-1) in
+    Array.blit db.reason 0 reason 0 db.nvars;
+    db.reason <- reason;
     let occurs = Array.make (2 * n) [] in
     Array.blit db.occurs 0 occurs 0 (Array.length db.occurs);
     db.occurs <- occurs;
@@ -48,121 +81,312 @@ let lit_value db l =
   let v = db.assign.(Lit.var l) in
   if Lit.sign l then v else -v
 
-exception Conflict
+let normalize c = Array.of_list (List.sort_uniq Lit.compare (Array.to_list c))
 
-(* Assign [l] true; propagate units; raise Conflict on contradiction. *)
-let rec assign_and_propagate db l =
+let key_of c =
+  let buf = Buffer.create 16 in
+  Array.iter
+    (fun l ->
+      Buffer.add_string buf (string_of_int (Lit.to_int l));
+      Buffer.add_char buf ' ')
+    c;
+  Buffer.contents buf
+
+exception Found_conflict of conflict
+
+let push_trail db l =
+  if db.trail_len = Array.length db.trail then begin
+    let t = Array.make (2 * db.trail_len) l in
+    Array.blit db.trail 0 t 0 db.trail_len;
+    db.trail <- t
+  end;
+  db.trail.(db.trail_len) <- l;
+  db.trail_len <- db.trail_len + 1
+
+(* Assign [l] true with the given reason; raise on contradiction. *)
+let enqueue db l rsn =
   match lit_value db l with
   | 1 -> ()
-  | -1 -> raise Conflict
+  | -1 -> raise (Found_conflict { c_clause = rsn; c_var = Lit.var l })
   | _ ->
-      db.assign.(Lit.var l) <- (if Lit.sign l then 1 else -1);
-      Stack.push l db.trail;
-      (* every clause containing ¬l gains a false literal.  Two phases:
-         complete ALL counter increments before any scan may raise
-         Conflict, so that undo_all (which decrements every counter of
-         every trail literal) sees consistent state even after an
-         exception aborts propagation. *)
-      let nl = Lit.negate l in
-      List.iter
-        (fun ci -> db.false_count.(ci) <- db.false_count.(ci) + 1)
-        db.occurs.(nl);
-      List.iter
-        (fun ci ->
-          let c = db.clauses.(ci) in
-          if db.false_count.(ci) >= Array.length c - 1 then begin
-            (* maybe unit or conflicting; scan (cheap: clause short or
-               rarely reached) *)
-            let unassigned = ref None in
-            let satisfied = ref false in
-            Array.iter
-              (fun x ->
-                match lit_value db x with
-                | 1 -> satisfied := true
-                | 0 -> unassigned := Some x
-                | _ -> ())
-              c;
-            if not !satisfied then
-              match !unassigned with
-              | Some u -> assign_and_propagate db u
-              | None -> raise Conflict
-          end)
-        db.occurs.(nl)
+      let v = Lit.var l in
+      db.assign.(v) <- (if Lit.sign l then 1 else -1);
+      db.reason.(v) <- rsn;
+      push_trail db l
 
-let add_clause_db db c =
-  (* deduplicate literals: the solver stores clauses in sort_uniq form, so
-     e.g. (a ∨ a) must behave as the unit a for the checker too *)
-  let c =
-    Array.of_list (List.sort_uniq Lit.compare (Array.to_list c))
+(* Process the trail from [qhead]: apply counters and fire unit/conflict
+   scans.  Raises [Found_conflict] on contradiction; callers must undo
+   (or promote the watermark) afterwards either way. *)
+let propagate db =
+  while db.qhead < db.trail_len do
+    let l = db.trail.(db.qhead) in
+    db.qhead <- db.qhead + 1;
+    let nl = Lit.negate l in
+    (* two phases: complete ALL counter increments before any scan may
+       raise, so that undo (which decrements counters of every processed
+       literal) sees consistent state after an exception. *)
+    List.iter
+      (fun ci -> db.false_count.(ci) <- db.false_count.(ci) + 1)
+      db.occurs.(nl);
+    List.iter
+      (fun ci ->
+        let c = db.clauses.(ci) in
+        if db.live.(ci) && db.false_count.(ci) >= Array.length c - 1 then begin
+          let unassigned = ref None in
+          let satisfied = ref false in
+          Array.iter
+            (fun x ->
+              match lit_value db x with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := Some x
+              | _ -> ())
+            c;
+          if not !satisfied then
+            match !unassigned with
+            | Some u -> enqueue db u ci
+            | None -> raise (Found_conflict { c_clause = ci; c_var = -1 })
+        end)
+      db.occurs.(nl)
+  done
+
+(* Undo assignments above the watermark. *)
+let undo db =
+  for i = db.watermark to db.qhead - 1 do
+    let nl = Lit.negate db.trail.(i) in
+    List.iter
+      (fun ci -> db.false_count.(ci) <- db.false_count.(ci) - 1)
+      db.occurs.(nl)
+  done;
+  for i = db.watermark to db.trail_len - 1 do
+    db.assign.(Lit.var db.trail.(i)) <- 0
+  done;
+  db.trail_len <- db.watermark;
+  db.qhead <- db.watermark
+
+(* Clause indices a conflict depends on: the conflicting clause, plus
+   the reason chain of every variable involved.  Must run before the
+   trail is undone (reasons above the watermark die with it). *)
+let deps_of_conflict db { c_clause; c_var } =
+  let seen_c = Hashtbl.create 32 in
+  let seen_v = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  let add_var v =
+    if v >= 0 && not (Hashtbl.mem seen_v v) then begin
+      Hashtbl.add seen_v v ();
+      Queue.push v queue
+    end
   in
-  if Array.length c = 0 then db.has_empty <- true;
+  let add_clause ci =
+    if ci >= 0 && not (Hashtbl.mem seen_c ci) then begin
+      Hashtbl.add seen_c ci ();
+      Array.iter (fun l -> add_var (Lit.var l)) db.clauses.(ci)
+    end
+  in
+  add_clause c_clause;
+  add_var c_var;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if db.assign.(v) <> 0 then add_clause db.reason.(v)
+  done;
+  Hashtbl.fold (fun ci () acc -> ci :: acc) seen_c []
+
+let add_clause_db db ?(origin = -1) c =
+  (* deduplicate literals: the solver stores clauses in sort_uniq form,
+     so e.g. (a ∨ a) must behave as the unit a for the checker too *)
+  let c = normalize c in
   Array.iter (fun l -> ensure_var db (Lit.var l)) c;
   let ci = db.nclauses in
   if ci = Array.length db.clauses then begin
     let cap = max 64 (2 * Array.length db.clauses) in
-    let clauses = Array.make cap [||] in
-    Array.blit db.clauses 0 clauses 0 ci;
-    db.clauses <- clauses;
-    let fc = Array.make cap 0 in
-    Array.blit db.false_count 0 fc 0 ci;
-    db.false_count <- fc
+    let grow a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 ci;
+      a'
+    in
+    db.clauses <- grow db.clauses [||];
+    db.origin <- grow db.origin (-1);
+    db.live <- grow db.live false;
+    db.false_count <- grow db.false_count 0
   end;
   db.clauses.(ci) <- c;
+  db.origin.(ci) <- origin;
+  db.live.(ci) <- true;
   db.nclauses <- ci + 1;
-  (* initialize the false counter against the current (empty) trail *)
   db.false_count.(ci) <-
     Array.fold_left
       (fun acc l -> if lit_value db l = -1 then acc + 1 else acc)
       0 c;
-  Array.iter (fun l -> db.occurs.(l) <- ci :: db.occurs.(l)) c
+  Array.iter (fun l -> db.occurs.(l) <- ci :: db.occurs.(l)) c;
+  let key = key_of c in
+  (match Hashtbl.find_opt db.index key with
+  | Some r -> r := ci :: !r
+  | None -> Hashtbl.add db.index key (ref [ ci ]));
+  (* propagate top-level consequences once, persistently *)
+  if db.root_conflict = None then begin
+    let res =
+      try
+        if Array.length c = 0 then
+          raise (Found_conflict { c_clause = ci; c_var = -1 });
+        let unassigned = ref None in
+        let n_unassigned = ref 0 in
+        let satisfied = ref false in
+        Array.iter
+          (fun x ->
+            match lit_value db x with
+            | 1 -> satisfied := true
+            | 0 ->
+                incr n_unassigned;
+                unassigned := Some x
+            | _ -> ())
+          c;
+        if not !satisfied then
+          (match (!n_unassigned, !unassigned) with
+          | 0, _ -> raise (Found_conflict { c_clause = ci; c_var = -1 })
+          | 1, Some u -> enqueue db u ci
+          | _ -> ());
+        propagate db;
+        None
+      with Found_conflict cf -> Some (cf, deps_of_conflict db cf)
+    in
+    match res with
+    | None -> db.watermark <- db.trail_len (* qhead = trail_len here *)
+    | Some (cf, _) ->
+        (* the database is contradictory at the top level; freeze the
+           trail as-is so the reason chains behind [cf] stay alive for
+           dependency extraction *)
+        db.qhead <- db.trail_len;
+        db.watermark <- db.trail_len;
+        db.root_conflict <- Some cf
+  end
 
-let undo_all db =
-  while not (Stack.is_empty db.trail) do
-    let l = Stack.pop db.trail in
-    db.assign.(Lit.var l) <- 0;
-    let nl = Lit.negate l in
-    List.iter
-      (fun ci -> db.false_count.(ci) <- db.false_count.(ci) - 1)
-      db.occurs.(nl)
-  done
+(* A clause currently serving as the reason of a persistent assignment
+   must not be deleted: the unit it implied stays on the trail. *)
+let is_reason db ci =
+  Array.exists
+    (fun l ->
+      let v = Lit.var l in
+      db.assign.(v) <> 0 && db.reason.(v) = ci)
+    db.clauses.(ci)
 
-(* Is clause [c] derivable by reverse unit propagation? *)
-let rup db c =
-  if db.has_empty then true
-  else
-  let result =
-    try
-      (* propagate existing units first: clauses of size 1 *)
-      Array.iteri
-        (fun ci cl ->
-          if ci < db.nclauses && Array.length cl = 1 then
-            assign_and_propagate db cl.(0))
-        db.clauses;
-      Array.iter (fun l -> assign_and_propagate db (Lit.negate l)) c;
-      false
-    with Conflict -> true
-  in
-  undo_all db;
-  result
+let delete_clause_db db c =
+  let c = normalize c in
+  match Hashtbl.find_opt db.index (key_of c) with
+  | None -> ()
+  | Some r -> (
+      match List.find_opt (fun ci -> db.live.(ci) && not (is_reason db ci)) !r
+      with
+      | None -> () (* unknown or pinned as a reason: ignore, stays live *)
+      | Some ci ->
+          db.live.(ci) <- false;
+          r := List.filter (fun i -> i <> ci) !r)
 
-let check ?(max_steps = max_int) { inputs; steps } =
+(* Is clause [c] derivable by reverse unit propagation?  Returns the
+   dependency set of the conflict when [deps] is requested. *)
+let rup db ?(deps = false) c =
+  match db.root_conflict with
+  | Some cf -> Some (if deps then deps_of_conflict db cf else [])
+  | None -> (
+      let result =
+        try
+          Array.iter (fun l -> enqueue db (Lit.negate l) (-1)) c;
+          propagate db;
+          None
+        with Found_conflict cf ->
+          Some (if deps then deps_of_conflict db cf else [])
+      in
+      undo db;
+      result)
+
+let run ~record_deps ~max_steps { inputs; steps } =
   let db = create_db () in
-  List.iter (fun c -> add_clause_db db c) inputs;
+  List.iteri (fun j c -> add_clause_db db ~origin:(-(j + 1)) c) inputs;
+  let step_deps = if record_deps then Hashtbl.create 256 else Hashtbl.create 0 in
   let rec go i = function
     | [] ->
-        Invalid { step_index = i; reason = "proof does not derive []" }
+        Error (Invalid { step_index = i; reason = "proof does not derive []" })
     | _ when i >= max_steps ->
-        Invalid { step_index = i; reason = "step budget exceeded" }
-    | Learn c :: rest ->
-        if not (rup db c) then
-          Invalid { step_index = i; reason = "clause is not RUP" }
-        else if Array.length c = 0 then Valid
-        else begin
-          add_clause_db db c;
-          go (i + 1) rest
-        end
+        Error (Invalid { step_index = i; reason = "step budget exceeded" })
+    | Delete c :: rest ->
+        delete_clause_db db c;
+        go (i + 1) rest
+    | Learn c :: rest -> (
+        match rup db ~deps:record_deps c with
+        | None -> Error (Invalid { step_index = i; reason = "clause is not RUP" })
+        | Some d ->
+            if record_deps then Hashtbl.replace step_deps i d;
+            if Array.length c = 0 then Ok (i, db, step_deps)
+            else begin
+              add_clause_db db ~origin:i c;
+              go (i + 1) rest
+            end)
   in
   go 0 steps
+
+let check ?(max_steps = default_max_steps) proof =
+  match run ~record_deps:false ~max_steps proof with
+  | Ok _ -> Valid
+  | Error v -> v
+
+type core = {
+  trimmed : t;
+  core_inputs : int;
+  core_steps : int;
+  total_inputs : int;
+  total_steps : int;
+}
+
+let check_backward ?(max_steps = default_max_steps) proof =
+  match run ~record_deps:true ~max_steps proof with
+  | Error v -> Error v
+  | Ok (final_step, db, step_deps) ->
+      (* backward sweep: a clause is needed iff it is reachable from the
+         conflict that derived []; a step is needed iff its clause is *)
+      let needed_clause = Array.make (max 1 db.nclauses) false in
+      let needed_step = Hashtbl.create 256 in
+      let mark_deps d = List.iter (fun ci -> needed_clause.(ci) <- true) d in
+      Hashtbl.replace needed_step final_step ();
+      mark_deps (Hashtbl.find step_deps final_step);
+      (* origin.(ci) maps clause index -> step index; walk clause
+         indices newest-first so marking a step's deps (older clauses)
+         happens before those clauses are visited *)
+      for ci = db.nclauses - 1 downto 0 do
+        if needed_clause.(ci) && db.origin.(ci) >= 0 then begin
+          let s = db.origin.(ci) in
+          Hashtbl.replace needed_step s ();
+          match Hashtbl.find_opt step_deps s with
+          | Some d -> mark_deps d
+          | None -> ()
+        end
+      done;
+      let needed_input = Hashtbl.create 64 in
+      Array.iteri
+        (fun ci o -> if needed_clause.(ci) && o < 0 then
+            Hashtbl.replace needed_input (-o - 1) ())
+        (Array.sub db.origin 0 db.nclauses);
+      let inputs' =
+        List.filteri (fun j _ -> Hashtbl.mem needed_input j) proof.inputs
+      in
+      let steps' =
+        List.filteri
+          (fun i s ->
+            match s with
+            | Learn _ -> i <= final_step && Hashtbl.mem needed_step i
+            | Delete _ -> false)
+          proof.steps
+      in
+      let total_steps =
+        List.length
+          (List.filter (function Learn _ -> true | Delete _ -> false)
+             proof.steps)
+      in
+      Ok
+        {
+          trimmed = { inputs = inputs'; steps = steps' };
+          core_inputs = List.length inputs';
+          core_steps = List.length steps';
+          total_inputs = List.length proof.inputs;
+          total_steps;
+        }
 
 let pp_verdict fmt = function
   | Valid -> Format.pp_print_string fmt "valid"
@@ -171,11 +395,53 @@ let pp_verdict fmt = function
 
 let to_drup { steps; _ } =
   let buf = Buffer.create 1024 in
+  let lits c =
+    Array.iter
+      (fun l -> Buffer.add_string buf (string_of_int (Lit.to_int l) ^ " "))
+      c;
+    Buffer.add_string buf "0\n"
+  in
   List.iter
-    (fun (Learn c) ->
-      Array.iter
-        (fun l -> Buffer.add_string buf (string_of_int (Lit.to_int l) ^ " "))
-        c;
-      Buffer.add_string buf "0\n")
+    (function
+      | Learn c -> lits c
+      | Delete c ->
+          Buffer.add_string buf "d ";
+          lits c)
     steps;
   Buffer.contents buf
+
+let of_drup text =
+  let lines = String.split_on_char '\n' text in
+  let exception Bad of string in
+  try
+    let steps =
+      List.filteri (fun _ line -> String.trim line <> "") lines
+      |> List.filter_map (fun line ->
+             let line = String.trim line in
+             if String.length line >= 1 && line.[0] = 'c' then None
+             else
+               let deleted, rest =
+                 if String.length line >= 2 && line.[0] = 'd' && line.[1] = ' '
+                 then (true, String.sub line 2 (String.length line - 2))
+                 else (false, line)
+               in
+               let toks =
+                 String.split_on_char ' ' rest
+                 |> List.filter (fun t -> t <> "")
+               in
+               let rec lits acc = function
+                 | [] -> raise (Bad ("missing 0 terminator: " ^ line))
+                 | "0" :: rest ->
+                     if rest <> [] then
+                       raise (Bad ("literals after 0 terminator: " ^ line))
+                     else List.rev acc
+                 | tok :: rest -> (
+                     match int_of_string_opt tok with
+                     | Some n when n <> 0 -> lits (Lit.of_int n :: acc) rest
+                     | _ -> raise (Bad ("bad literal " ^ tok ^ ": " ^ line)))
+               in
+               let c = Array.of_list (lits [] toks) in
+               Some (if deleted then Delete c else Learn c))
+    in
+    Ok steps
+  with Bad msg -> Error msg

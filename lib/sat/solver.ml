@@ -261,6 +261,9 @@ let log_input s lits =
 let log_learn s lits =
   if s.logging then s.proof_steps <- Proof.Learn lits :: s.proof_steps
 
+let log_delete s lits =
+  if s.logging then s.proof_steps <- Proof.Delete lits :: s.proof_steps
+
 let proof s =
   if not s.logging then None
   else
@@ -482,6 +485,18 @@ let locked s c =
   && (match s.reason.(Lit.var l0) with Some r -> r == c | None -> false)
 
 let remove_clause s c =
+  (* Log the deletion so the proof checker can drop the clause too —
+     except when the clause is satisfied at level 0: such a clause may
+     be the checker-side reason of a top-level unit (or the source of
+     the final conflict), so its deletion must stay unlogged to keep
+     the trace replayable. *)
+  if
+    s.logging
+    && not
+         (Array.exists
+            (fun l -> lit_value s l = 1 && s.level.(Lit.var l) = 0)
+            c.lits)
+  then log_delete s (Array.copy c.lits);
   detach s c;
   c.deleted <- true;
   if is_core c then s.num_core <- s.num_core - 1;
@@ -924,8 +939,9 @@ let remove_satisfied s (db : clause Vec.Poly.t) =
 (* Backward subsumption over the learnt database: a clause deletes every
    live learnt superset of itself.  Signatures prune most candidate pairs;
    the scan walks the occurrence list of the rarest literal.  Deletions
-   need no proof step (the checker never deletes), and the budget counts
-   literal comparisons, so no clock is involved. *)
+   flow through [remove_clause], which logs a [Proof.Delete] step when a
+   trace is being recorded; the budget counts literal comparisons, so no
+   clock is involved. *)
 let backward_subsume s =
   let cls =
     Array.of_list
@@ -1042,6 +1058,10 @@ let vivify s =
       | V_shortened lits -> (
           s.vivified_clauses <- s.vivified_clauses + 1;
           log_learn s (Array.of_list lits);
+          (* the shortened clause subsumes the original: delete the
+             original from the trace too, before any unit from the
+             shortened clause is enqueued at level 0 *)
+          log_delete s (Array.copy c.lits);
           match lits with
           | [] ->
               c.deleted <- true;

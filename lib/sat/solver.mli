@@ -143,9 +143,10 @@ val set_random_seed : t -> int -> unit
 
 val enable_proof : t -> unit
 (** Start DRUP proof logging: every clause added from now on is recorded
-    as an input, every learnt clause as a proof step, and an
-    assumption-free [Unsat] answer ends the trace with the empty clause.
-    Enable before adding clauses. *)
+    as an input, every learnt clause as a proof step, clause deletions
+    (database reduction, subsumption, vivification) as {!Proof.Delete}
+    steps, and an assumption-free [Unsat] answer ends the trace with the
+    empty clause.  Enable before adding clauses. *)
 
 val proof : t -> Proof.t option
 (** The trace so far ([None] unless logging was enabled).  Checkable with

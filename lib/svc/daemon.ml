@@ -1,3 +1,4 @@
+module Sjson = Qxm_json.Sjson
 module Circuit = Qxm_circuit.Circuit
 module Qasm = Qxm_circuit.Qasm
 module Coupling = Qxm_arch.Coupling
@@ -20,6 +21,8 @@ let deadline_expiries = lazy (Metrics.counter "svc.deadline_expiries")
 let watchdog_cancels = lazy (Metrics.counter "svc.watchdog_cancels")
 let verify_rejects = lazy (Metrics.counter "svc.cache_verify_rejects")
 let hits_served = lazy (Metrics.counter "svc.cache_hits_served")
+let certs_emitted = lazy (Metrics.counter "svc.certificates_emitted")
+let cert_failures = lazy (Metrics.counter "svc.certificate_failures")
 
 type config = {
   jobs : int;
@@ -31,6 +34,7 @@ type config = {
   cache_dir : string option;
   cache_mem : int;
   use_cache : bool;
+  certificates : bool;
   watchdog_period : float;
   watchdog_grace : float;
   portfolio : Portfolio.options;
@@ -47,6 +51,7 @@ let default_config =
     cache_dir = None;
     cache_mem = 128;
     use_cache = true;
+    certificates = false;
     watchdog_period = 0.05;
     watchdog_grace = 0.5;
     portfolio = Portfolio.default;
@@ -247,13 +252,67 @@ let verified_hit ~(req : request) payload_str =
               | Error e -> Error ("certification failed: " ^ e)
               | Ok () -> Ok { p with cached = true; attempts = 0 })))
 
+(* -- certificate store ----------------------------------------------------
+
+   With certificates enabled and a disk cache tier configured, every
+   freshly solved proven-optimal answer leaves a QXMCERT1 artifact at
+   <cache-dir>/<key>.cert.json, next to the cache entry it vouches for.
+   The `audit` wire op (and the offline qxm_audit binary) re-validates
+   it without trusting this process. *)
+
+let certificate_path t ~key =
+  Option.map
+    (fun dir -> Filename.concat dir (key ^ ".cert.json"))
+    (Cache.dir t.cache)
+
+let store_certificate t (req : request) ~key (r : Portfolio.report) =
+  if t.config.certificates && r.Portfolio.optimal then
+    match certificate_path t ~key with
+    | None -> ()
+    | Some path -> (
+        let options =
+          {
+            t.config.portfolio with
+            Portfolio.exact =
+              {
+                t.config.portfolio.exact with
+                Mapper.strategy = req.strategy;
+                certificate = true;
+              };
+          }
+        in
+        match
+          Qxm_audit.Emit.of_portfolio ~device_name:req.device_name
+            ~arch:req.device ~circuit:req.circuit ~options r
+        with
+        | Ok cert ->
+            let tmp = path ^ ".tmp" in
+            Out_channel.with_open_bin tmp (fun oc ->
+                Out_channel.output_string oc
+                  (Qxm_audit.Certificate.to_string cert));
+            Sys.rename tmp path;
+            Metrics.incr (Lazy.force certs_emitted)
+        | Error _ | (exception _) -> Metrics.incr (Lazy.force cert_failures))
+
+let audit_certificate t ~key =
+  match certificate_path t ~key with
+  | None -> Error "certificates require a disk cache (--cache-dir)"
+  | Some path ->
+      if not (Sys.file_exists path) then
+        Error (Printf.sprintf "no certificate stored for key %s" key)
+      else
+        let contents =
+          In_channel.with_open_bin path In_channel.input_all
+        in
+        Ok (Qxm_audit.Auditor.audit_string contents)
+
 (* -- request execution ---------------------------------------------------- *)
 
 exception Permanent of string
 
 let failure_string e = Format.asprintf "%a" Portfolio.pp_failure e
 
-let solve t (req : request) : response =
+let solve t ?key (req : request) : response =
   let budget =
     match req.budget with None -> t.config.default_budget | b -> b
   in
@@ -288,6 +347,7 @@ let solve t (req : request) : response =
                 t.config.portfolio.exact with
                 strategy = req.strategy;
                 jobs = 1;
+                certificate = t.config.certificates;
               };
             budget = remaining;
             (* one worker per request: throughput comes from the pool *)
@@ -313,6 +373,7 @@ let solve t (req : request) : response =
             List.mem "deadline_expired" r.notes
             || List.mem "cancelled" r.notes
           then Metrics.incr (Lazy.force deadline_expiries);
+          Option.iter (fun key -> store_certificate t req ~key r) key;
           Done
             {
               qasm = Qasm.to_string r.elementary;
@@ -357,7 +418,7 @@ let handle t (req : request) : response =
     match cached with
     | Some p -> Done p
     | None -> (
-        match solve t req with
+        match solve t ~key req with
         | Done p as resp ->
             if use_cache then
               Cache.store t.cache ~key (Sjson.print (json_of_payload p));

@@ -30,6 +30,10 @@
     All entry points are thread-safe.  See [doc/SERVICE.md] for the
     wire protocol, cache format and the operational runbook. *)
 
+module Sjson = Qxm_json.Sjson
+(** Re-exported so existing [Qxm_svc.Daemon.Sjson] users keep
+    compiling; the module itself now lives in [Qxm_json]. *)
+
 type config = {
   jobs : int;  (** worker domains executing requests (>= 1) *)
   watermark : int;  (** max in-flight requests before shedding *)
@@ -44,6 +48,12 @@ type config = {
   cache_dir : string option;  (** disk tier location; [None] = memory only *)
   cache_mem : int;  (** in-memory tier capacity (entries) *)
   use_cache : bool;  (** master switch for the result cache *)
+  certificates : bool;
+      (** emit a QXMCERT1 optimality certificate next to the cache
+          entry ([<key>.cert.json] under [cache_dir]) for every freshly
+          solved proven-optimal answer; requires a disk cache tier.
+          Off by default: proof logging costs memory and certificates
+          only exist for [Exact_optimal] answers. *)
   watchdog_period : float;  (** watchdog scan interval, seconds *)
   watchdog_grace : float;
       (** seconds past a request's deadline before the watchdog
@@ -140,6 +150,18 @@ val payload_of_json : Sjson.t -> (payload, string) result
 val cache_key : request -> string
 (** The content digest this request caches under: circuit QASM, device
     edge list, strategy, budget and cost model. *)
+
+val certificate_path : t -> key:string -> string option
+(** Where the certificate for a {!cache_key} lives ([None] without a
+    disk cache tier).  The file exists once a proven-optimal answer for
+    that key has been solved with [config.certificates] on. *)
+
+val audit_certificate :
+  t -> key:string -> (Qxm_audit.Auditor.report, string) result
+(** Load the stored certificate for a {!cache_key} and re-validate it
+    with the independent offline auditor ({!Qxm_audit.Auditor.run}).
+    [Error] when certificates are not stored (no disk cache) or none
+    exists for the key. *)
 
 val metrics_text : unit -> string
 (** The [/metrics]-style snapshot of the whole registry: one

@@ -20,4 +20,5 @@ let () =
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("svc", Test_svc.suite);
+      ("audit", Test_audit.suite);
     ]

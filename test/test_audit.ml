@@ -1,0 +1,200 @@
+(* Tests for qxm_audit: certificate emission, the JSON round trip, and
+   the offline auditor — including one seeded corruption per QA-E code
+   family, each of which must be rejected with its own diagnostic. *)
+
+module Mapper = Qxm_exact.Mapper
+module Strategy = Qxm_exact.Strategy
+module Devices = Qxm_arch.Devices
+module Coupling = Qxm_arch.Coupling
+module Qasm = Qxm_circuit.Qasm
+module Circuit = Qxm_circuit.Circuit
+module Gate = Qxm_circuit.Gate
+module Decompose = Qxm_circuit.Decompose
+module Certificate = Qxm_audit.Certificate
+module Auditor = Qxm_audit.Auditor
+module Emit = Qxm_audit.Emit
+module D = Qxm_lint.Diagnostic
+
+(* Fig. 1-style smoke circuit: 3 logical qubits, 4 CNOTs, F* = 4 on QX4
+   under the minimal strategy. *)
+let smoke_qasm =
+  "OPENQASM 2.0;\n\
+   include \"qelib1.inc\";\n\
+   qreg q[3];\n\
+   cx q[0],q[1];\n\
+   cx q[1],q[2];\n\
+   cx q[2],q[0];\n\
+   cx q[1],q[0];\n"
+
+let options = { Mapper.default with certificate = true }
+
+(* One solve, shared by every test below. *)
+let clean_cert =
+  lazy
+    (let circuit = Qasm.parse_string smoke_qasm in
+     match Mapper.run ~options ~arch:Devices.qx4 circuit with
+     | Error f -> Alcotest.failf "mapper failed: %a" Mapper.pp_failure f
+     | Ok r -> (
+         if not r.Mapper.optimal then Alcotest.fail "answer not optimal";
+         match
+           Emit.of_report ~device_name:"qx4" ~arch:Devices.qx4 ~circuit
+             ~options r
+         with
+         | Error e -> Alcotest.failf "emit failed: %s" e
+         | Ok cert -> cert))
+
+let has_code (r : Auditor.report) code =
+  List.exists (fun d -> d.D.code = code) r.diagnostics
+
+let check_rejected ~code cert =
+  let r = Auditor.run cert in
+  Alcotest.(check bool) "rejected" false r.Auditor.ok;
+  Alcotest.(check bool) (code ^ " raised") true (has_code r code)
+
+let test_clean_cert_audits_green () =
+  let cert = Lazy.force clean_cert in
+  Alcotest.(check int) "claimed F*" 4 cert.Certificate.claimed_cost;
+  let r = Auditor.run cert in
+  if not r.Auditor.ok then
+    Alcotest.failf "clean certificate rejected: %s"
+      (String.concat "; " (List.map D.to_string r.Auditor.diagnostics));
+  Alcotest.(check bool) "core stats reported" true (has_code r "QA-I101");
+  Alcotest.(check bool) "a core was extracted" true (r.Auditor.core <> None)
+
+let test_json_roundtrip () =
+  let cert = Lazy.force clean_cert in
+  match Certificate.of_string (Certificate.to_string cert) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok cert' ->
+      Alcotest.(check bool) "fields preserved" true (cert = cert');
+      Alcotest.(check bool) "still audits green" true (Auditor.run cert').ok
+
+let test_audit_string_bad_json () =
+  let r = Auditor.audit_string "{ not json" in
+  Alcotest.(check bool) "rejected" false r.Auditor.ok;
+  Alcotest.(check bool) "QA-E001 raised" true (has_code r "QA-E001")
+
+(* -- seeded corruptions -------------------------------------------------- *)
+
+let test_inflated_cost () =
+  let cert = Lazy.force clean_cert in
+  check_rejected ~code:"QA-E004"
+    { cert with Certificate.claimed_cost = cert.Certificate.claimed_cost + 7 }
+
+let test_deflated_cost () =
+  let cert = Lazy.force clean_cert in
+  check_rejected ~code:"QA-E005"
+    { cert with Certificate.claimed_cost = cert.Certificate.claimed_cost - 4 }
+
+(* Negate the first literal of the first Learn line of the DRUP text,
+   leaving deletions and terminators alone. *)
+let flip_first_literal drup =
+  let flipped = ref false in
+  let fix line =
+    if
+      !flipped || line = ""
+      || (String.length line >= 2 && String.sub line 0 2 = "d ")
+    then line
+    else
+      match String.split_on_char ' ' line with
+      | tok :: rest when tok <> "0" ->
+          flipped := true;
+          String.concat " " (string_of_int (-int_of_string tok) :: rest)
+      | _ -> line
+  in
+  let out =
+    String.concat "\n" (List.map fix (String.split_on_char '\n' drup))
+  in
+  if not !flipped then Alcotest.fail "no literal to flip";
+  out
+
+let test_flipped_proof_literal () =
+  let cert = Lazy.force clean_cert in
+  check_rejected ~code:"QA-E007"
+    {
+      cert with
+      Certificate.proof_drup = flip_first_literal cert.Certificate.proof_drup;
+    }
+
+(* Drop the final line — the empty clause concluding the derivation. *)
+let drop_last_step drup =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' drup)
+  in
+  match List.rev lines with
+  | last :: rest ->
+      Alcotest.(check string) "trace ends with the empty clause" "0" last;
+      String.concat "\n" (List.rev rest) ^ "\n"
+  | [] -> Alcotest.fail "empty trace"
+
+let test_dropped_final_step () =
+  let cert = Lazy.force clean_cert in
+  check_rejected ~code:"QA-E008"
+    {
+      cert with
+      Certificate.proof_drup = drop_last_step cert.Certificate.proof_drup;
+    }
+
+(* Append a stray H to the mapped circuit, recomputing the elementary
+   decomposition consistently so only the equivalence check can object:
+   an extra single-qubit gate costs nothing in the objective and
+   violates no coupling constraint, but it changes the unitary. *)
+let test_perturbed_mapped_circuit () =
+  let cert = Lazy.force clean_cert in
+  let mapped =
+    Circuit.add_single (Qasm.parse_string cert.Certificate.mapped_qasm) Gate.H 0
+  in
+  let back = Array.of_list cert.Certificate.subset in
+  let device =
+    Coupling.create ~num_qubits:cert.Certificate.device_qubits
+      cert.Certificate.device_edges
+  in
+  let mapped_dev =
+    Circuit.map_qubits
+      (fun p -> back.(p))
+      cert.Certificate.device_qubits mapped
+  in
+  let elementary =
+    Decompose.elementary ~allowed:(Coupling.allows device) mapped_dev
+  in
+  let bad =
+    {
+      cert with
+      Certificate.mapped_qasm = Qasm.to_string mapped;
+      elementary_qasm = Qasm.to_string elementary;
+    }
+  in
+  let r = Auditor.run bad in
+  Alcotest.(check bool) "rejected" false r.Auditor.ok;
+  Alcotest.(check bool) "QA-E013 raised" true (has_code r "QA-E013");
+  (* the corruption must be attributed to equivalence alone *)
+  Alcotest.(check bool) "no decomposition complaint" false
+    (has_code r "QA-E010");
+  Alcotest.(check bool) "no objective complaint" false (has_code r "QA-E012")
+
+let test_corrupt_model () =
+  let cert = Lazy.force clean_cert in
+  (* truncating the model below the encoding's variable count is
+     structurally malformed — distinct from a falsifying model *)
+  check_rejected ~code:"QA-E003"
+    { cert with Certificate.model = Array.sub cert.Certificate.model 0 3 }
+
+let test_non_induced_subset () =
+  let cert = Lazy.force clean_cert in
+  check_rejected ~code:"QA-E002"
+    { cert with Certificate.subset = [ 0; 0; 1 ] }
+
+let suite =
+  [
+    ("clean certificate audits green", `Quick, test_clean_cert_audits_green);
+    ("json round trip", `Quick, test_json_roundtrip);
+    ("bad json is QA-E001", `Quick, test_audit_string_bad_json);
+    ("inflated cost is QA-E004", `Quick, test_inflated_cost);
+    ("deflated cost is QA-E005", `Quick, test_deflated_cost);
+    ("flipped proof literal is QA-E007", `Quick, test_flipped_proof_literal);
+    ("dropped final step is QA-E008", `Quick, test_dropped_final_step);
+    ("perturbed mapped circuit is QA-E013", `Quick,
+     test_perturbed_mapped_circuit);
+    ("truncated model is QA-E003", `Quick, test_corrupt_model);
+    ("non-ascending subset is QA-E002", `Quick, test_non_induced_subset);
+  ]

@@ -9,7 +9,7 @@
 
 open Test_util
 module Validate = Qxm_svc.Validate
-module Sjson = Qxm_svc.Sjson
+module Sjson = Qxm_json.Sjson
 module Chash = Qxm_svc.Chash
 module Backoff = Qxm_svc.Backoff
 module Admission = Qxm_svc.Admission
