@@ -18,6 +18,21 @@
    their costs nor their wall times are stable enough to gate on.
    Improvements (new optimal rows, faster rows) never fail the guard.
 
+   Beyond wall time, two solver-level gates run on rows with enough
+   propagation work to be statistically stable (>= 100k propagations in
+   both runs):
+
+   - propagation throughput ("props_per_sec") must not fall below
+     baseline / 1.5; and
+   - minor-heap allocation per propagation ("minor_words" /
+     "propagations") must not exceed baseline * 1.5 + 0.5 words — the
+     hot loop is allocation-free by construction, so growth here means
+     an allocation crept back in.
+
+   Baselines predating these fields are tolerated: a row missing
+   "props_per_sec" or "minor_words" simply skips the gate it lacks (the
+   allocation gate then falls back to an absolute ceiling).
+
    The parser is deliberately narrow: it reads the one-record-per-line
    layout bench/main.exe writes, so the repository needs no JSON
    dependency for CI gating. *)
@@ -31,7 +46,20 @@ type row = {
   stages : (string * float) list;
       (* per-stage wall seconds ("stage_<name>_s" fields), used to
          attribute a wall-time regression to the stage that grew *)
+  propagations : int option;
+  props_per_sec : float option;
+  minor_words : int option;
 }
+
+(* Absolute minor-words-per-propagation ceiling used when the baseline
+   predates the allocation counters.  The arena solver sits well under
+   one word per propagation on every quick-suite row; 8 leaves room for
+   noise while still catching a boxed hot loop (tens of words/prop). *)
+let absolute_words_per_prop = 8.0
+
+(* Rows below this much propagation work are too noisy to gate on
+   throughput or allocation. *)
+let min_gated_propagations = 100_000
 
 let stage_names = [ "encode"; "warm_start"; "solve"; "reconstruct"; "verify" ]
 
@@ -99,6 +127,15 @@ let parse_file path =
                            (fun s -> (name, s))
                            (float_of_string_opt v)))
                    stage_names;
+               propagations =
+                 Option.bind (find_field line "propagations")
+                   int_of_string_opt;
+               props_per_sec =
+                 Option.bind (find_field line "props_per_sec")
+                   float_of_string_opt;
+               minor_words =
+                 Option.bind (find_field line "minor_words")
+                   int_of_string_opt;
              }
              :: !rows
        | _ -> ()
@@ -145,34 +182,69 @@ let () =
             fail "REGRESSED  %-24s optimal flipped true -> false\n" tag
         | Some f ->
             let allowed = (base.wall_s *. 1.25) +. 0.25 in
-            if f.wall_s > allowed then begin
-              fail
-                "REGRESSED  %-24s wall %.3fs > allowed %.3fs (baseline \
-                 %.3fs)\n"
-                tag f.wall_s allowed base.wall_s;
-              (* attribute the regression: the stage whose time grew the
-                 most over the baseline (when both runs carry the
-                 per-stage breakdown) *)
-              let growth =
-                List.filter_map
-                  (fun (name, fs) ->
-                    Option.map
-                      (fun bs -> (name, fs -. bs))
-                      (List.assoc_opt name base.stages))
-                  f.stages
-              in
-              match
-                List.sort (fun (_, a) (_, b) -> compare b a) growth
-              with
-              | (stage, d) :: _ when d > 0.0 ->
-                  Printf.printf
-                    "           %-24s biggest stage growth: %s (+%.3fs)\n" tag
-                    stage d
+            (if f.wall_s > allowed then begin
+               fail
+                 "REGRESSED  %-24s wall %.3fs > allowed %.3fs (baseline \
+                  %.3fs)\n"
+                 tag f.wall_s allowed base.wall_s;
+               (* attribute the regression: the stage whose time grew the
+                  most over the baseline (when both runs carry the
+                  per-stage breakdown) *)
+               let growth =
+                 List.filter_map
+                   (fun (name, fs) ->
+                     Option.map
+                       (fun bs -> (name, fs -. bs))
+                       (List.assoc_opt name base.stages))
+                   f.stages
+               in
+               match
+                 List.sort (fun (_, a) (_, b) -> compare b a) growth
+               with
+               | (stage, d) :: _ when d > 0.0 ->
+                   Printf.printf
+                     "           %-24s biggest stage growth: %s (+%.3fs)\n"
+                     tag stage d
+               | _ -> ()
+             end
+             else
+               Printf.printf "ok         %-24s %.3fs (baseline %.3fs)\n" tag
+                 f.wall_s base.wall_s);
+            let gated =
+              match (base.propagations, f.propagations) with
+              | Some bn, Some fn ->
+                  bn >= min_gated_propagations && fn >= min_gated_propagations
+              | _ -> false
+            in
+            if gated then begin
+              (match (base.props_per_sec, f.props_per_sec) with
+              | Some bp, Some fp when bp > 0.0 ->
+                  if fp < bp /. 1.5 then
+                    fail
+                      "REGRESSED  %-24s props/sec %.2fM < %.2fM (baseline \
+                       %.2fM / 1.5)\n"
+                      tag (fp /. 1e6) (bp /. 1.5 /. 1e6) (bp /. 1e6)
+                  else
+                    Printf.printf "           %-24s props/sec %.2fx baseline\n"
+                      tag (fp /. bp)
+              | _ -> ());
+              match (f.minor_words, f.propagations) with
+              | Some mw, Some props when props > 0 ->
+                  let fm = float_of_int mw /. float_of_int props in
+                  let allowed_m, origin =
+                    match (base.minor_words, base.propagations) with
+                    | Some bmw, Some bprops when bprops > 0 ->
+                        ( (float_of_int bmw /. float_of_int bprops *. 1.5)
+                          +. 0.5,
+                          "baseline * 1.5 + 0.5" )
+                    | _ -> (absolute_words_per_prop, "absolute ceiling")
+                  in
+                  if fm > allowed_m then
+                    fail
+                      "REGRESSED  %-24s minor words/prop %.2f > %.2f (%s)\n"
+                      tag fm allowed_m origin
               | _ -> ()
-            end
-            else
-              Printf.printf "ok         %-24s %.3fs (baseline %.3fs)\n" tag
-                f.wall_s base.wall_s)
+            end)
     baseline;
   if !failures > 0 then begin
     Printf.printf "compare: %d regression(s) against %s\n" !failures

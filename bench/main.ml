@@ -132,6 +132,7 @@ let emit_json file =
           let record =
             match Mapper.run ~options ~arch:Devices.qx4 e.circuit with
             | Ok r ->
+                let wall = Unix.gettimeofday () -. t0 in
                 let st = r.sat_stats in
                 (* flat per-stage wall-clock fields so compare.ml's
                    line-based parser can attribute a regression to the
@@ -143,14 +144,30 @@ let emit_json file =
                          Printf.sprintf "\"stage_%s_s\": %.3f" name s)
                        r.phase_seconds)
                 in
-                common
-                  (Unix.gettimeofday () -. t0)
+                (* propagation throughput over the solve stage (falling
+                   back to total wall time when the stage breakdown is
+                   missing), and the allocation counters the arena work
+                   is gated on: minor-heap words per propagation should
+                   stay near zero *)
+                let solve_s =
+                  match List.assoc_opt "solve" r.phase_seconds with
+                  | Some s when s > 0.0 -> s
+                  | _ -> wall
+                in
+                let props_per_sec =
+                  if solve_s > 0.0 then
+                    float_of_int st.Solver.propagations /. solve_s
+                  else 0.0
+                in
+                common wall
                   (Printf.sprintf
                      "\"total_gates\": %d, \"f_cost\": %d, \
                       \"objective_cost\": %d, \"optimal\": %b, \"verified\": \
                       %s, \"solves\": %d, \"workers\": %d, \
                       \"pruned_by_incumbent\": %d, %s, \"conflicts\": %d, \
                       \"propagations\": %d, \"binary_propagations\": %d, \
+                      \"props_per_sec\": %.0f, \"minor_words\": %d, \
+                      \"arena_collections\": %d, \"arena_relocations\": %d, \
                       \"minimized_lits\": %d, \"subsumed_clauses\": %d, \
                       \"vivified_clauses\": %d, \"glue\": [%d, %d, %d, %d, \
                       %d]"
@@ -158,6 +175,8 @@ let emit_json file =
                      (verified_json r.verified) r.solves r.workers
                      r.pruned_by_incumbent stage_fields st.Solver.conflicts
                      st.Solver.propagations st.Solver.binary_propagations
+                     props_per_sec st.Solver.minor_words
+                     st.Solver.arena_collections st.Solver.arena_relocations
                      st.Solver.minimized_lits st.Solver.subsumed_clauses
                      st.Solver.vivified_clauses st.Solver.glue_1
                      st.Solver.glue_2 st.Solver.glue_3_4 st.Solver.glue_5_8

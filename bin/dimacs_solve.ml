@@ -5,16 +5,20 @@
 let () =
   let path = ref None in
   let conflict_limit = ref (-1) in
+  let stats = ref false in
   let spec =
     [
       ( "--conflicts",
         Arg.Set_int conflict_limit,
         "<n> conflict budget (default: unlimited)" );
+      ( "--stats",
+        Arg.Set stats,
+        " print solver statistics as comment lines after the result" );
     ]
   in
   Arg.parse spec
     (fun p -> path := Some p)
-    "dimacs_solve [--conflicts n] <file.cnf>";
+    "dimacs_solve [--conflicts n] [--stats] <file.cnf>";
   match !path with
   | None ->
       prerr_endline "dimacs_solve: missing input file";
@@ -29,11 +33,16 @@ let () =
             Printf.eprintf "dimacs_solve: %s\n" message;
             exit 1
       in
-      let solver = Qxm_sat.Solver.create () in
+      let solver = Qxm_sat.Solver.create ~capacity:problem.num_vars () in
       Qxm_sat.Dimacs.load solver problem;
-      (match
-         Qxm_sat.Solver.solve ~conflict_limit:!conflict_limit solver
-       with
+      let result =
+        Qxm_sat.Solver.solve ~conflict_limit:!conflict_limit solver
+      in
+      if !stats then
+        List.iter
+          (fun (name, value) -> Printf.printf "c %s %d\n" name value)
+          (Qxm_sat.Solver.stats_counters (Qxm_sat.Solver.stats solver));
+      match result with
       | Qxm_sat.Solver.Sat ->
           print_endline "s SATISFIABLE";
           Format.printf "%a@." Qxm_sat.Dimacs.pp_model
@@ -44,4 +53,4 @@ let () =
           exit 20
       | Qxm_sat.Solver.Unknown ->
           print_endline "s UNKNOWN";
-          exit 0)
+          exit 0

@@ -106,6 +106,7 @@ let () =
   let times = ref 5 in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let certdir = ref None in
+  let sanitize = ref false in
   let spec =
     [
       ("--timeout", Arg.Set_float timeout, "<s> per-configuration budget");
@@ -122,10 +123,14 @@ let () =
       ("--certificates", Arg.String (fun d -> certdir := Some d),
        "<dir> emit a QXMCERT1 optimality certificate per proven-minimal \
         row of the minimal-strategy columns (audit with qxm_audit)");
+      ("--sanitize", Arg.Set sanitize,
+       " audit solver invariants (trail, watchers, heap, clause arena) \
+        before and after every solve; any violation aborts");
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "table1 [options] -- regenerate Table 1";
+  if !sanitize then Qxm_sat.Solver.set_sanitize_all true;
   let arch =
     match Qxm_arch.Devices.by_name !device with
     | Some a -> a

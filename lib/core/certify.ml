@@ -63,7 +63,9 @@ type outcome =
   | Budget_exhausted
 
 let optimality ?amo ?costs ?(deadline = 0.0) ~instance ~cost () =
-  let solver = Solver.create () in
+  let solver =
+    Solver.create ~capacity:(Encoding.var_capacity_hint instance) ()
+  in
   Solver.enable_proof solver;
   let cnf = Cnf.create solver in
   let built = Encoding.build ?amo ?costs cnf instance in

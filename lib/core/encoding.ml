@@ -69,6 +69,34 @@ let segments_of inst =
   done;
   (seg, !current + 1)
 
+(* Upper-bound estimate of the variables [build] allocates, used to
+   pre-size the solver before encoding.  Per family: the x blocks and z
+   switches are exact; AMO/EO auxiliaries are bounded by the constraint
+   arity (true for all three schemes — sequential uses arity-1, commander
+   strictly less, pairwise none); coupling adds two selectors per
+   (edge, gate); each permutation spot adds its ladder, the movement
+   indicators (square regime) and at most one selector per reachable
+   permutation. *)
+let var_capacity_hint inst =
+  match
+    validate inst;
+    Swap_count.compute_cached inst.arch
+  with
+  | exception Invalid_argument _ -> 0
+  | table ->
+      let m = Coupling.num_qubits inst.arch in
+      let n = inst.num_logical in
+      let g = Array.length inst.cnots in
+      let _, nseg = segments_of inst in
+      let nedges = List.length (Coupling.edges inst.arch) in
+      let nperms = List.length (Swap_count.permutations_with_cost table) in
+      let per_spot = Swap_count.max_swaps table + (m * m) + nperms in
+      (nseg * m * n) + g
+      + (2 * nseg * m * n)
+      + (2 * nedges * g)
+      + ((nseg - 1) * per_spot)
+      + 1
+
 (* Eq. (1): every logical qubit on exactly one physical qubit; every
    physical qubit holds at most one logical qubit. *)
 let constrain_well_defined ~amo cnf x m n =
@@ -98,15 +126,19 @@ let constrain_coupling cnf inst x seg z =
       List.iter
         (fun (pi, pj) ->
           let native = Cnf.fresh cnf in
-          Cnf.imp_and cnf native [ block.(pi).(c); block.(pj).(t) ];
+          Cnf.add2 cnf (Lit.negate native) block.(pi).(c);
+          Cnf.add2 cnf (Lit.negate native) block.(pj).(t);
           options := native :: !options;
           let reversed = Cnf.fresh cnf in
-          Cnf.imp_and cnf reversed [ block.(pi).(t); block.(pj).(c) ];
+          Cnf.add2 cnf (Lit.negate reversed) block.(pi).(t);
+          Cnf.add2 cnf (Lit.negate reversed) block.(pj).(c);
           options := reversed :: !options;
           if not (Coupling.allows arch pj pi) then
             (* control at pj, target at pi: only reachable by switching *)
-            Cnf.add cnf
-              [ Lit.negate block.(pi).(t); Lit.negate block.(pj).(c); z.(k) ])
+            Cnf.add3 cnf
+              (Lit.negate block.(pi).(t))
+              (Lit.negate block.(pj).(c))
+              z.(k))
         (Coupling.edges arch);
       Cnf.add cnf !options)
     inst.cnots
@@ -127,12 +159,10 @@ let constrain_spot_square cnf table x_prev x_next m steps =
   for i = 0 to m - 1 do
     for i' = 0 to m - 1 do
       for j = 0 to m - 1 do
-        Cnf.add cnf
-          [
-            Lit.negate x_prev.(i).(j);
-            Lit.negate x_next.(i').(j);
-            move.(i).(i');
-          ]
+        Cnf.add3 cnf
+          (Lit.negate x_prev.(i).(j))
+          (Lit.negate x_next.(i').(j))
+          move.(i).(i')
       done
     done
   done;
@@ -140,11 +170,12 @@ let constrain_spot_square cnf table x_prev x_next m steps =
     (fun (pi, cost) ->
       if cost > 0 then begin
         let y = Cnf.fresh cnf in
-        let body =
-          Array.to_list
-            (Array.mapi (fun i target -> Lit.negate move.(i).(target)) pi)
-        in
-        Cnf.add cnf (y :: body);
+        Cnf.add_begin cnf;
+        Cnf.add_lit cnf y;
+        Array.iteri
+          (fun i target -> Cnf.add_lit cnf (Lit.negate move.(i).(target)))
+          pi;
+        Cnf.add_end cnf;
         for t = 0 to cost - 1 do
           Cnf.implies cnf y steps.(t)
         done
@@ -160,12 +191,9 @@ let constrain_spot_general cnf table x_prev x_next m n steps =
         let y = Cnf.fresh cnf in
         for i = 0 to m - 1 do
           for j = 0 to n - 1 do
-            Cnf.add cnf
-              [
-                Lit.negate y;
-                Lit.negate x_prev.(i).(j);
-                x_next.(Permutation.apply pi i).(j);
-              ]
+            Cnf.add3 cnf (Lit.negate y)
+              (Lit.negate x_prev.(i).(j))
+              x_next.(Permutation.apply pi i).(j)
           done
         done;
         for t = 0 to cost - 1 do

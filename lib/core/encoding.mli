@@ -49,6 +49,15 @@ val validate : instance -> unit
 
 type built
 
+val var_capacity_hint : instance -> int
+(** Upper-bound estimate of the number of solver variables {!build} will
+    allocate for the instance (mapping blocks, switching variables,
+    Tseitin auxiliaries of every constraint family).  Intended as the
+    [?capacity] pre-sizing hint of {!Qxm_sat.Solver.create}, so building
+    never regrows the solver's per-variable storage; over-estimating only
+    wastes a few arrays.  Returns [0] (no hint) on instances that
+    {!validate} would reject. *)
+
 val build :
   ?amo:Qxm_encode.Amo.encoding ->
   ?costs:cost_model ->

@@ -289,7 +289,7 @@ type obs = {
 }
 
 let solve_instance ~(options : options) ~obs ~cancel ~deadline ~bound inst =
-  let solver = Solver.create () in
+  let solver = Solver.create ~capacity:(Encoding.var_capacity_hint inst) () in
   if options.certificate then Solver.enable_proof solver;
   if options.seed <> 0 then Solver.set_random_seed solver options.seed;
   obs.obs_solver solver;

@@ -19,7 +19,7 @@ let pairwise cnf lits =
         | [] -> ()
         | l :: rest ->
             List.iter
-              (fun l' -> Cnf.add cnf [ Lit.negate l; Lit.negate l' ])
+              (fun l' -> Cnf.add2 cnf (Lit.negate l) (Lit.negate l'))
               rest;
             go rest
       in
@@ -37,9 +37,9 @@ let sequential cnf lits =
           List.iter
             (fun l ->
               let s' = Cnf.fresh cnf in
-              Cnf.add cnf [ Lit.negate !s; s' ];
-              Cnf.add cnf [ Lit.negate l; s' ];
-              Cnf.add cnf [ Lit.negate l; Lit.negate !s ];
+              Cnf.add2 cnf (Lit.negate !s) s';
+              Cnf.add2 cnf (Lit.negate l) s';
+              Cnf.add2 cnf (Lit.negate l) (Lit.negate !s);
               s := s')
             rest)
 

@@ -49,6 +49,33 @@ val add : t -> Qxm_sat.Lit.t list -> unit
     here is almost always an encoder bug.  Use {!add_unsat} to make an
     instance unsatisfiable on purpose. *)
 
+(** {2 Buffered clause construction}
+
+    The allocation-free path for hot encoder loops: literals are pushed
+    into one reusable buffer and handed to the solver's
+    {!Qxm_sat.Solver.add_clause_buf}, so emitting a clause allocates
+    nothing beyond its arena words (the pre-normalization [Ev_clause]
+    list is only materialized while a tap is installed).  Semantics are
+    identical to {!add} — same normalization, same empty-clause flagging,
+    same tap events.  The buffer is shared: a [add_begin]/[add_lit]
+    sequence must finish with [add_end] before any other clause-adding
+    call on the same context. *)
+
+val add_begin : t -> unit
+(** Start a buffered clause (clears the buffer). *)
+
+val add_lit : t -> Qxm_sat.Lit.t -> unit
+(** Append one literal to the buffered clause. *)
+
+val add_end : t -> unit
+(** Finish the buffered clause: report it to the tap and add it. *)
+
+val add2 : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> unit
+(** [add2 t a b] is [add t [a; b]] without the list allocation. *)
+
+val add3 : t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> Qxm_sat.Lit.t -> unit
+(** [add3 t a b c] is [add t [a; b; c]] without the list allocation. *)
+
 val add_unsat : t -> reason:string -> unit
 (** Deliberately make the instance unsatisfiable (e.g. an at-least-one
     constraint over the empty set).  Reported to the tap as [Ev_unsat]

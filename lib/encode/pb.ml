@@ -31,7 +31,7 @@ let merge cnf (a : node) (b : node) : node =
     (fun (va, la) ->
       List.iter
         (fun (vb, lb) ->
-          Cnf.add cnf [ Lit.negate la; Lit.negate lb; lit_for (va + vb) ])
+          Cnf.add3 cnf (Lit.negate la) (Lit.negate lb) (lit_for (va + vb)))
         b)
     a;
   out

@@ -11,20 +11,18 @@ let merge cnf p q =
   for i = 0 to a do
     for j = 0 to b do
       if i + j > 0 then begin
-        let body =
-          (if i > 0 then [ Lit.negate p.(i - 1) ] else [])
-          @ (if j > 0 then [ Lit.negate q.(j - 1) ] else [])
-          @ [ r.(i + j - 1) ]
-        in
-        Cnf.add cnf body
+        Cnf.add_begin cnf;
+        if i > 0 then Cnf.add_lit cnf (Lit.negate p.(i - 1));
+        if j > 0 then Cnf.add_lit cnf (Lit.negate q.(j - 1));
+        Cnf.add_lit cnf r.(i + j - 1);
+        Cnf.add_end cnf
       end;
       if i + j < a + b then begin
-        let body =
-          (if i < a then [ p.(i) ] else [])
-          @ (if j < b then [ q.(j) ] else [])
-          @ [ Lit.negate r.(i + j) ]
-        in
-        Cnf.add cnf body
+        Cnf.add_begin cnf;
+        if i < a then Cnf.add_lit cnf p.(i);
+        if j < b then Cnf.add_lit cnf q.(j);
+        Cnf.add_lit cnf (Lit.negate r.(i + j));
+        Cnf.add_end cnf
       end
     done
   done;

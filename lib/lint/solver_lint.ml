@@ -2,6 +2,7 @@ let code_of_area = function
   | "watch" -> "QL-S001"
   | "trail" -> "QL-S002"
   | "heap" -> "QL-S003"
+  | "arena" -> "QL-S004"
   | _ -> "QL-S000"
 
 let check solver =

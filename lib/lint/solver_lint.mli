@@ -5,7 +5,9 @@
     codes the rest of the lint layer uses (see [doc/LINT.md]):
     - [QL-S001] (error) two-watched-literal bookkeeping broken
     - [QL-S002] (error) trail / decision-level inconsistency
-    - [QL-S003] (error) VSIDS heap malformed *)
+    - [QL-S003] (error) VSIDS heap malformed
+    - [QL-S004] (error) clause-arena corruption (bad headers, invalid
+      crefs in clause lists / watches / reasons) *)
 
 val check : Qxm_sat.Solver.t -> Diagnostic.t list
 (** Audit a solver right now.  Empty means every audited invariant
@@ -13,4 +15,5 @@ val check : Qxm_sat.Solver.t -> Diagnostic.t list
 
 val code_of_area : string -> string
 (** ["watch"] ↦ ["QL-S001"], ["trail"] ↦ ["QL-S002"], ["heap"] ↦
-    ["QL-S003"]; unknown areas map to ["QL-S000"]. *)
+    ["QL-S003"], ["arena"] ↦ ["QL-S004"]; unknown areas map to
+    ["QL-S000"]. *)

@@ -23,7 +23,7 @@ let swap t i j =
   Vec.Int.set t.index vi j;
   Vec.Int.set t.index vj i
 
-let percolate_up t act i =
+let percolate_up t (act : float array) i =
   let i = ref i in
   while
     !i > 0
@@ -33,7 +33,7 @@ let percolate_up t act i =
     i := parent !i
   done
 
-let percolate_down t act i =
+let percolate_down t (act : float array) i =
   let n = size t in
   let i = ref i in
   let continue = ref true in

@@ -15,7 +15,17 @@ type result =
   | Unsat  (** No model exists under the given assumptions. *)
   | Unknown  (** Conflict budget or deadline exhausted. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a variable-count hint: every per-variable and
+    per-literal structure (assignment, watch lists, heap index, and the
+    clause arena) is pre-sized for that many variables, so encoding a
+    problem of known size does one allocation per structure instead of a
+    doubling cascade.  The hint is not a limit — [new_var] still grows
+    storage on demand. *)
+
+val reserve : t -> int -> unit
+(** [reserve s n] pre-sizes storage for [n] variables (see [create]'s
+    [?capacity]).  No-op when storage is already that large. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable and return its index. *)
@@ -32,6 +42,14 @@ val add_clause : t -> Lit.t list -> unit
 (** Add a clause over existing variables.  Performs level-0 simplification
     (duplicate removal, tautology detection, falsified-literal stripping).
     @raise Invalid_argument if a literal mentions an unallocated variable. *)
+
+val add_clause_buf : t -> Vec.Int.t -> unit
+(** [add_clause] over a reusable literal buffer: same simplification and
+    semantics, but the literals go straight from the buffer into the
+    clause arena with no intermediate list.  The buffer is clobbered
+    (sorted, deduplicated, stripped) — callers refill it per clause.
+    This is the allocation-free path the encoder's buffered [Cnf.add]
+    uses. *)
 
 val solve :
   ?assumptions:Lit.t list ->
@@ -85,6 +103,17 @@ type stats = {
   glue_3_4 : int;  (** LBD 3–4. *)
   glue_5_8 : int;  (** LBD 5–8. *)
   glue_9_plus : int;  (** LBD above 8 — the aggressively reduced tail. *)
+  minor_words : int;
+      (** OCaml minor-heap words allocated inside [solve] calls (measured
+          via [Gc.minor_words] deltas).  With the flat clause arena the
+          search loop allocates almost nothing, so
+          [minor_words / propagations] should stay near zero — the bench
+          gate holds it there. *)
+  arena_collections : int;
+      (** Copying collections of the clause arena (triggered when a
+          quarter of it is garbage). *)
+  arena_relocations : int;
+      (** Clauses moved by arena collections, total. *)
 }
 
 val stats : t -> stats
@@ -103,7 +132,13 @@ val add_stats : stats -> stats -> stats
 val stats_counters : stats -> (string * int) list
 (** The stats record as an ordered [(field-name, value)] list — the
     canonical field enumeration shared by the metrics registry, JSON
-    reports and tests. *)
+    reports and tests.  New fields append at the end, so consumers of
+    the prefix survive schema growth. *)
+
+val arena_words : t -> int
+(** Current size of the clause arena in words (a gauge, not a counter —
+    published to the registry as [solver.arena_words] on each stats
+    flush). *)
 
 (** A progress sample, delivered from inside the search loop. *)
 type progress = {
@@ -175,7 +210,9 @@ val check_invariants : t -> (string * string) list
 (** Audit the solver right now, at any decision level, without mutating it.
     Returns [(area, message)] pairs with [area] one of ["trail"] (trail and
     decision-level consistency), ["watch"] (two-watched-literal
-    bookkeeping) or ["heap"] (VSIDS heap well-formedness).  Empty means
+    bookkeeping), ["heap"] (VSIDS heap well-formedness) or ["arena"]
+    (clause-arena header structure, cref validity of clause lists /
+    watch lists / reasons, and reason slot-0 discipline).  Empty means
     every audited invariant holds. *)
 
 (** Seeded-corruption hooks for the sanitizer's mutation tests.  Each call
@@ -192,6 +229,15 @@ module Testing : sig
   val corrupt_heap : t -> bool
   (** Inflate a leaf variable's activity without restoring heap order
       (needs at least two heap members). *)
+
+  val corrupt_arena : t -> bool
+  (** Set an illegal header flag on the first arena clause so the
+      ["arena"] audit reports it; [false] when no clause exists. *)
+
+  val compact : t -> unit
+  (** Force a copying collection of the clause arena right now,
+      regardless of the garbage fraction — the relocation round-trip
+      tests use this to exercise cref remapping deterministically. *)
 
   val inprocess : t -> unit
   (** Run one inprocessing pass (backward subsumption + vivification over

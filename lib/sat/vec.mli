@@ -42,6 +42,44 @@ module Int : sig
   val unsafe_set : t -> int -> int -> unit
 end
 
+(** Flat vector of [int] pairs, stored inline ([a0; b0; a1; b1; ...]).
+    The solver's watch lists are these: a watcher is two adjacent unboxed
+    words, so scanning chases no pointers and pushing allocates nothing
+    once capacity is reached. *)
+module Pair : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is in pairs. *)
+
+  val size : t -> int
+  (** Number of pairs. *)
+
+  val push : t -> int -> int -> unit
+  val a : t -> int -> int
+  (** First component of pair [i]. *)
+
+  val b : t -> int -> int
+  (** Second component of pair [i]. *)
+
+  val set : t -> int -> int -> int -> unit
+  val unsafe_a : t -> int -> int
+  val unsafe_b : t -> int -> int
+  val unsafe_set : t -> int -> int -> int -> unit
+  val clear : t -> unit
+
+  val shrink : t -> int -> unit
+  (** [shrink v n] truncates [v] to its first [n] pairs. *)
+
+  val iter : (int -> int -> unit) -> t -> unit
+  val filter_in_place : (int -> int -> bool) -> t -> unit
+
+  val map_in_place : (int -> int -> (int * int) option) -> t -> unit
+  (** Rewrite each pair; [None] drops it (survivor order preserved). *)
+
+  val to_list : t -> (int * int) list
+end
+
 (** Growable vector of arbitrary elements (used for clause references). *)
 module Poly : sig
   type 'a t

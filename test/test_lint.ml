@@ -304,6 +304,7 @@ let corruption_cases =
     ("watch", Solver.Testing.corrupt_watch, "QL-S001");
     ("trail", Solver.Testing.corrupt_trail, "QL-S002");
     ("heap", Solver.Testing.corrupt_heap, "QL-S003");
+    ("arena", Solver.Testing.corrupt_arena, "QL-S004");
   ]
 
 let test_corruptions_detected () =

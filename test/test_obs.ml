@@ -36,6 +36,9 @@ let stats_gen =
   let* glue_3_4 = f in
   let* glue_5_8 = f in
   let* glue_9_plus = f in
+  let* minor_words = f in
+  let* arena_collections = f in
+  let* arena_relocations = f in
   return
     {
       Solver.conflicts;
@@ -53,6 +56,9 @@ let stats_gen =
       glue_3_4;
       glue_5_8;
       glue_9_plus;
+      minor_words;
+      arena_collections;
+      arena_relocations;
     }
 
 let stats_eq a b = Solver.stats_counters a = Solver.stats_counters b
@@ -78,8 +84,8 @@ let add_stats_unit =
 let test_stats_counters_shape () =
   let counters = Solver.stats_counters Solver.zero_stats in
   let names = List.map fst counters in
-  Alcotest.(check int) "15 counter fields" 15 (List.length names);
-  Alcotest.(check int) "field names are unique" 15
+  Alcotest.(check int) "18 counter fields" 18 (List.length names);
+  Alcotest.(check int) "field names are unique" 18
     (List.length (List.sort_uniq compare names));
   List.iter
     (fun (name, v) -> Alcotest.(check int) (name ^ " is zero") 0 v)

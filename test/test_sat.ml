@@ -165,9 +165,8 @@ let test_unsat_core () =
   Alcotest.(check bool) "core only over conflicting assumptions" true
     (List.for_all (fun l -> Lit.var l < 2) core)
 
-let test_pigeonhole n () =
-  (* n+1 pigeons in n holes: classic UNSAT family. *)
-  let s = Solver.create () in
+(* n+1 pigeons in n holes: classic UNSAT family. *)
+let test_pigeonhole_build s n =
   let v p h = Lit.pos ((p * n) + h) in
   for _ = 1 to (n + 1) * n do
     ignore (Solver.new_var s)
@@ -181,7 +180,11 @@ let test_pigeonhole n () =
         Solver.add_clause s [ Lit.negate (v p1 h); Lit.negate (v p2 h) ]
       done
     done
-  done;
+  done
+
+let test_pigeonhole n () =
+  let s = Solver.create () in
+  test_pigeonhole_build s n;
   Alcotest.(check bool) "php unsat" true (Solver.solve s = Solver.Unsat)
 
 let test_conflict_limit () =
@@ -226,6 +229,95 @@ let incremental_assumptions_sound =
       | Solver.Sat -> expected
       | Solver.Unsat -> not expected
       | Solver.Unknown -> false)
+
+(* -- clause arena ------------------------------------------------------ *)
+
+(* Feeding the same clauses through the list path and the buffered path
+   must produce the same search, propagation for propagation: the
+   buffered path normalizes in place but is otherwise the same code. *)
+let buffered_add_equivalent =
+  qtest ~count:200 "add_clause_buf matches add_clause"
+    (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:3)
+    (fun (nvars, clauses) ->
+      let s1 = solver_with nvars in
+      List.iter (Solver.add_clause s1) clauses;
+      let s2 = solver_with nvars in
+      let buf = Vec.Int.create () in
+      List.iter
+        (fun c ->
+          Vec.Int.clear buf;
+          List.iter (Vec.Int.push buf) c;
+          Solver.add_clause_buf s2 buf)
+        clauses;
+      let r1 = Solver.solve s1 and r2 = Solver.solve s2 in
+      let st1 = Solver.stats s1 and st2 = Solver.stats s2 in
+      r1 = r2
+      && st1.Solver.conflicts = st2.Solver.conflicts
+      && st1.Solver.propagations = st2.Solver.propagations
+      && st1.Solver.binary_propagations = st2.Solver.binary_propagations)
+
+(* Forcing a copying collection at a quiescent point must relocate every
+   live clause consistently: invariants stay clean (the checker audits
+   all crefs against the arena layout) and a re-solve still agrees with
+   brute force. *)
+let compaction_roundtrip =
+  qtest ~count:200 "arena compaction preserves state"
+    (cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:4)
+    (fun (nvars, clauses) ->
+      let s = solver_with nvars in
+      List.iter (Solver.add_clause s) clauses;
+      let expected = brute_sat nvars clauses in
+      let r1 = Solver.solve s in
+      Solver.Testing.compact s;
+      Solver.check_invariants s = []
+      && Solver.solve s = r1
+      &&
+      match r1 with
+      | Solver.Sat -> expected && model_satisfies clauses (Solver.model s)
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+let test_compaction_reclaims () =
+  (* a deep search accumulates learnt clauses and lazy deletions; after
+     inprocessing + compaction the arena must hold no garbage *)
+  let s = Solver.create () in
+  test_pigeonhole_build s 5;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Solver.Testing.inprocess s;
+  Solver.Testing.compact s;
+  Alcotest.(check (list (pair string string))) "invariants clean" []
+    (Solver.check_invariants s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "collection counted" true (st.arena_collections > 0);
+  Alcotest.(check bool) "relocations counted" true (st.arena_relocations > 0)
+
+let test_capacity_reserve () =
+  (* pre-sizing must be observationally identical to growing on demand *)
+  let run create =
+    let s = create () in
+    for _ = 1 to 40 do
+      ignore (Solver.new_var s)
+    done;
+    for v = 0 to 38 do
+      Solver.add_clause s [ Lit.neg_of v; Lit.pos (v + 1) ]
+    done;
+    Solver.add_clause s [ Lit.pos 0 ];
+    let r = Solver.solve s in
+    Alcotest.(check (list (pair string string))) "invariants clean" []
+      (Solver.check_invariants s);
+    (r, (Solver.stats s).Solver.propagations)
+  in
+  let cold = run (fun () -> Solver.create ()) in
+  let hinted = run (fun () -> Solver.create ~capacity:40 ()) in
+  let reserved =
+    run (fun () ->
+        let s = Solver.create () in
+        Solver.reserve s 40;
+        s)
+  in
+  Alcotest.(check bool) "hinted identical" true (cold = hinted);
+  Alcotest.(check bool) "reserved identical" true (cold = reserved);
+  Alcotest.(check bool) "sat" true (fst cold = Solver.Sat)
 
 (* -- sanitized solving ------------------------------------------------ *)
 
@@ -337,6 +429,10 @@ let suite =
     solver_agrees_with_brute_force;
     solver_models_are_valid;
     incremental_assumptions_sound;
+    buffered_add_equivalent;
+    compaction_roundtrip;
+    ("arena compaction reclaims", `Quick, test_compaction_reclaims);
+    ("solver capacity/reserve", `Quick, test_capacity_reserve);
     ("sanitized dimacs corpus", `Quick, test_sanitized_dimacs_corpus);
     ("sanitized pigeonhole", `Quick, test_sanitized_pigeonhole);
     sanitized_solver_agrees_with_brute_force;

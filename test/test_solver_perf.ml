@@ -130,6 +130,32 @@ let test_counters_fire () =
     (st.binary_propagations > 0);
   Alcotest.(check bool) "minimization fired" true (st.minimized_lits > 0)
 
+(* The hot loop is allocation-free by construction: clauses live in the
+   flat arena, watchers in flat pair vectors, analysis reuses scratch
+   buffers, and the VSIDS heap compares activities as unboxed floats.
+   What still allocates is deliberate, periodic maintenance —
+   inprocessing snapshots and clause-database reduction — which amounts
+   to a few words per propagation on a deep search.  The budget below
+   (the same 8 words/prop ceiling the bench regression guard uses)
+   leaves room for that while failing loudly if a boxed representation
+   (tens of words per propagation, as with polymorphic compare in the
+   branching heap) ever creeps back into the search path. *)
+let test_allocation_free_hot_loop () =
+  let s = Solver.create () in
+  pigeonhole s 7;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "enough work to measure" true
+    (st.propagations > 100_000);
+  let words_per_prop =
+    float_of_int st.minor_words /. float_of_int st.propagations
+  in
+  if words_per_prop > 8.0 then
+    Alcotest.failf
+      "search allocates: %d minor words over %d propagations (%.3f \
+       words/prop, budget 8.0)"
+      st.minor_words st.propagations words_per_prop
+
 let test_stats_sum () =
   let s = Solver.create () in
   pigeonhole s 4;
@@ -220,6 +246,8 @@ let suite =
       test_deterministic_stats;
     Alcotest.test_case "stats: new counters fire on a hard instance" `Quick
       test_counters_fire;
+    Alcotest.test_case "allocation: hot loop is (near) allocation-free" `Quick
+      test_allocation_free_hot_loop;
     Alcotest.test_case "stats: zero/add algebra" `Quick test_stats_sum;
     test_warm_start_optimum;
   ]
