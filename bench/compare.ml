@@ -18,6 +18,14 @@
    their costs nor their wall times are stable enough to gate on.
    Improvements (new optimal rows, faster rows) never fail the guard.
 
+   Records may carry a "suite" tag ("quick" or "hard") and an explicit
+   "timed_out" boolean; rows are matched on (suite, benchmark, jobs).
+   A baseline row that timed out and now finishes is flagged as an
+   improvement; a row that finished and now times out is a regression.
+   Baselines predating either field are tolerated: a missing "suite"
+   reads as "quick" and a missing "timed_out" as unknown (the "optimal"
+   flag then carries the verdict alone).
+
    Beyond wall time, two solver-level gates run on rows with enough
    propagation work to be statistically stable (>= 100k propagations in
    both runs):
@@ -38,11 +46,16 @@
    dependency for CI gating. *)
 
 type row = {
+  suite : string;
+      (* "quick" | "hard"; baselines predating the suite field parse as
+         "quick" (the only suite that existed then) *)
   benchmark : string;
   jobs : int;
   wall_s : float;
   optimal : bool;
   failed : bool;
+  timed_out : bool option;
+      (* explicit budget-expiry marker; [None] on old baselines *)
   stages : (string * float) list;
       (* per-stage wall seconds ("stage_<name>_s" fields), used to
          attribute a wall-time regression to the stage that grew *)
@@ -111,11 +124,18 @@ let parse_file path =
        | Some benchmark, Some jobs, Some wall_s ->
            rows :=
              {
+               suite =
+                 Option.value ~default:"quick" (string_field line "suite");
                benchmark;
                jobs;
                wall_s;
                optimal = find_field line "optimal" = Some "true";
                failed = find_field line "failed" = Some "true";
+               timed_out =
+                 (match find_field line "timed_out" with
+                 | Some "true" -> Some true
+                 | Some "false" -> Some false
+                 | _ -> None);
                stages =
                  List.filter_map
                    (fun name ->
@@ -155,8 +175,12 @@ let () =
     Printf.eprintf "compare: no records parsed from %s\n" Sys.argv.(1);
     exit 2
   end;
-  let lookup rows b j =
-    List.find_opt (fun r -> r.benchmark = b && r.jobs = j) rows
+  let lookup rows (base : row) =
+    List.find_opt
+      (fun r ->
+        r.suite = base.suite && r.benchmark = base.benchmark
+        && r.jobs = base.jobs)
+      rows
   in
   let failures = ref 0 in
   let fail fmt =
@@ -165,19 +189,31 @@ let () =
   in
   List.iter
     (fun base ->
-      let tag = Printf.sprintf "%s -j%d" base.benchmark base.jobs in
-      if not base.optimal then
-        (* informational: the baseline itself was an anytime row *)
-        match lookup fresh base.benchmark base.jobs with
-        | Some f when f.optimal ->
-            Printf.printf "improved   %-24s now optimal (%.3fs)\n" tag
-              f.wall_s
-        | _ -> Printf.printf "unstable   %-24s baseline not optimal, not gated\n" tag
+      let tag =
+        Printf.sprintf "%s%s -j%d"
+          (if base.suite = "quick" then "" else base.suite ^ "/")
+          base.benchmark base.jobs
+      in
+      if (not base.optimal) || base.timed_out = Some true then
+        (* informational: the baseline itself was an anytime row — but a
+           row that newly finishes within budget is worth celebrating *)
+        match lookup fresh base with
+        | Some f when f.optimal && f.timed_out <> Some true ->
+            Printf.printf
+              "improved   %-24s newly finishes within budget (%.3fs, was \
+               timing out)\n"
+              tag f.wall_s
+        | _ ->
+            Printf.printf
+              "unstable   %-24s baseline not optimal, not gated\n" tag
       else
-        match lookup fresh base.benchmark base.jobs with
+        match lookup fresh base with
         | None -> fail "REGRESSED  %-24s missing from fresh run\n" tag
         | Some f when f.failed ->
             fail "REGRESSED  %-24s was optimal, now failed\n" tag
+        | Some f when f.timed_out = Some true ->
+            fail "REGRESSED  %-24s newly times out (was %.3fs)\n" tag
+              base.wall_s
         | Some f when not f.optimal ->
             fail "REGRESSED  %-24s optimal flipped true -> false\n" tag
         | Some f ->

@@ -85,24 +85,53 @@ let regenerate_table1_slice () =
     (List.filter (fun (e : Suite.entry) -> e.paper.cnots <= 14) (Suite.all ()));
   print_newline ()
 
-(* Machine-readable run: the same quick slice, mapped once sequentially
-   and once with the recommended worker count, one JSON record per
-   (benchmark, jobs) pair.  CI archives the file (BENCH.json) so speedup
-   and determinism can be tracked across commits; [-j1]/[-jN] pairs that
-   completed within budget ([optimal] true) must agree on every cost
-   field — rows cut off by the 30 s deadline are anytime incumbents and
-   inherently timing-dependent at any worker count. *)
+(* Machine-readable runs, one JSON record per (benchmark, jobs) pair.
+   CI archives the files (BENCH.json, BENCH-hard.json) so speedup and
+   determinism can be tracked across commits.
+
+   - "quick": benchmarks with <= 14 CNOTs, 30 s budget, mapped once
+     sequentially and once with the recommended worker count;
+     [-j1]/[-jN] pairs that completed within budget ([optimal] true)
+     must agree on every cost field — rows cut off by the deadline are
+     anytime incumbents and inherently timing-dependent at any worker
+     count.
+   - "hard": the seven Table-1 rows the minimal strategy historically
+     could not prove within generous budgets, 90 s per row with the
+     full incremental machinery (parallel workers, symmetry breaking,
+     cube-and-conquer).  Every record carries an explicit
+     "timed_out" boolean — true iff the budget expired before the
+     proof closed — so compare.ml can flag rows that newly finish
+     (improvement) or newly time out (regression). *)
 
 let verified_json = function
   | Some true -> "true"
   | Some false -> "false"
   | None -> "null"
 
-let emit_json file =
-  let entries =
-    List.filter (fun (e : Suite.entry) -> e.paper.cnots <= 14) (Suite.all ())
-  in
+let hard_names =
+  [
+    "4gt11_82"; "4gt13_92"; "alu-v1_28"; "alu-v1_29"; "alu-v3_34"; "qe_qft_4";
+    "qe_qft_5";
+  ]
+
+let emit_json ~suite file =
   let jpar = max 2 (Domain.recommended_domain_count ()) in
+  let entries, budget, jobs_list, cubes =
+    match suite with
+    | "hard" ->
+        ( List.filter_map Suite.by_name hard_names,
+          90.0,
+          [ jpar ],
+          true )
+    | _ ->
+        ( List.filter
+            (fun (e : Suite.entry) -> e.paper.cnots <= 14)
+            (Suite.all ()),
+          30.0,
+          [ 1; jpar ],
+          false )
+  in
+  let suite = if suite = "hard" then "hard" else "quick" in
   let records = ref [] in
   List.iter
     (fun (e : Suite.entry) ->
@@ -112,8 +141,9 @@ let emit_json file =
             {
               Mapper.default with
               strategy = Strategy.Minimal;
-              timeout = Some 30.0;
+              timeout = Some budget;
               jobs;
+              cubes = cubes && jobs > 1;
             }
           in
           let t0 = Unix.gettimeofday () in
@@ -122,10 +152,10 @@ let emit_json file =
              reproduce its own run *)
           let common wall rest =
             Printf.sprintf
-              "  {\"suite\": \"quick\", \"benchmark\": \"%s\", \"device\": \
+              "  {\"suite\": \"%s\", \"benchmark\": \"%s\", \"device\": \
                \"qx4\", \"strategy\": \"%s\", \"seed\": %d, \"jobs\": %d, \
                \"wall_s\": %.3f, %s}"
-              e.name
+              suite e.name
               (Strategy.name options.strategy)
               options.seed jobs wall rest
           in
@@ -162,8 +192,8 @@ let emit_json file =
                 common wall
                   (Printf.sprintf
                      "\"total_gates\": %d, \"f_cost\": %d, \
-                      \"objective_cost\": %d, \"optimal\": %b, \"verified\": \
-                      %s, \"solves\": %d, \"workers\": %d, \
+                      \"objective_cost\": %d, \"optimal\": %b, \"timed_out\": \
+                      %b, \"verified\": %s, \"solves\": %d, \"workers\": %d, \
                       \"pruned_by_incumbent\": %d, %s, \"conflicts\": %d, \
                       \"propagations\": %d, \"binary_propagations\": %d, \
                       \"props_per_sec\": %.0f, \"minor_words\": %d, \
@@ -172,7 +202,8 @@ let emit_json file =
                       \"vivified_clauses\": %d, \"glue\": [%d, %d, %d, %d, \
                       %d]"
                      r.total_gates r.f_cost r.objective_cost r.optimal
-                     (verified_json r.verified) r.solves r.workers
+                     (not r.optimal) (verified_json r.verified) r.solves
+                     r.workers
                      r.pruned_by_incumbent stage_fields st.Solver.conflicts
                      st.Solver.propagations st.Solver.binary_propagations
                      props_per_sec st.Solver.minor_words
@@ -182,16 +213,20 @@ let emit_json file =
                      st.Solver.glue_2 st.Solver.glue_3_4 st.Solver.glue_5_8
                      st.Solver.glue_9_plus)
             | Error _ ->
-                common (Unix.gettimeofday () -. t0) "\"failed\": true"
+                common
+                  (Unix.gettimeofday () -. t0)
+                  "\"failed\": true, \"timed_out\": true"
           in
           records := record :: !records)
-        [ 1; jpar ])
+        jobs_list)
     entries;
   let oc = open_out file in
   Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.rev !records));
   close_out oc;
-  Printf.printf "bench: wrote %d records (quick slice, -j1 vs -j%d) to %s\n"
-    (List.length !records) jpar file
+  Printf.printf "bench: wrote %d records (%s suite, jobs %s) to %s\n"
+    (List.length !records) suite
+    (String.concat "/" (List.map string_of_int jobs_list))
+    file
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: micro-benchmarks                                             *)
@@ -345,9 +380,19 @@ let () =
     in
     find args
   in
-  if not micro_only then begin
+  let suite =
+    let rec find = function
+      | [] -> "quick"
+      | "--suite" :: s :: _ -> s
+      | _ :: rest -> find rest
+    in
+    find args
+  in
+  (* The hard suite is a dedicated long-budget run: skip the
+     regeneration pass and the micro-benchmarks unless asked for. *)
+  if (not micro_only) && suite <> "hard" then begin
     regenerate_figures ();
     regenerate_table1_slice ()
   end;
-  Option.iter emit_json json;
-  if not skip_micro then run_micro ()
+  Option.iter (emit_json ~suite) json;
+  if (not skip_micro) && suite <> "hard" then run_micro ()

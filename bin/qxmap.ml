@@ -626,6 +626,28 @@ let map_cmd =
              the run to prove minimality; exits 1 otherwise.  See \
              doc/CERTIFICATES.md.")
   in
+  let cubes_arg =
+    Arg.(
+      value & flag
+      & info [ "cubes" ]
+          ~doc:
+            "Cube-and-conquer the exact search: split the top-level \
+             initial-layout choice of the most-used logical qubit into \
+             one cube per physical position and fan the cubes over the \
+             worker pool with shared-incumbent pruning.  With \
+             $(b,--portfolio) and $(b,-j)>1 the cube lane additionally \
+             races the incremental conflict ladder.")
+  in
+  let no_symmetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable the lex-leader symmetry-breaking constraints over \
+             the initial layout (on by default for the minimal \
+             strategy).  Symmetry breaking is optimum-preserving; this \
+             knob exists for A/B measurement and debugging.")
+  in
   let json_arg =
     Arg.(
       value & flag
@@ -641,7 +663,7 @@ let map_cmd =
   in
   let run input device strategy subsets timeout portfolio stage_budget
       fallback inject lint sanitize solver_stats jobs trace events progress
-      certificate json output draw =
+      cubes no_symmetry certificate json output draw =
     let jobs = max 1 jobs in
     if sanitize then Solver.set_sanitize_all true;
     if trace <> None || events <> None then Trace.enable ();
@@ -693,6 +715,8 @@ let map_cmd =
               strategy;
               use_subsets = subsets;
               jobs;
+              cubes;
+              symmetry = not no_symmetry;
               certificate = certificate <> None;
             };
           budget = timeout;
@@ -736,6 +760,8 @@ let map_cmd =
           use_subsets = subsets;
           timeout;
           jobs;
+          cubes;
+          symmetry = not no_symmetry;
           certificate = certificate <> None;
         }
       in
@@ -776,8 +802,8 @@ let map_cmd =
       const run $ input_arg $ device_arg $ strategy_arg $ subsets_arg
       $ timeout_arg $ portfolio_arg $ stage_budget_arg $ fallback_arg
       $ inject_arg $ lint_arg $ sanitize_arg $ solver_stats_arg $ jobs_arg
-      $ trace_arg $ events_arg $ progress_arg $ certificate_arg $ json_arg
-      $ output_arg $ draw_arg)
+      $ trace_arg $ events_arg $ progress_arg $ cubes_arg $ no_symmetry_arg
+      $ certificate_arg $ json_arg $ output_arg $ draw_arg)
 
 let heuristic_cmd =
   let algo_arg =

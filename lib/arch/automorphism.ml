@@ -1,0 +1,79 @@
+(* Directed-graph automorphisms by plain backtracking: assign images for
+   vertices 0, 1, ... in order, pruning on in/out degree and on edge
+   consistency with every already-assigned vertex.  The coupling maps of
+   the paper's devices have at most 20 qubits and very little symmetry
+   beyond edge reversal orbits, so this terminates instantly; a node
+   budget guards the pathological case anyway. *)
+
+let node_budget = 200_000
+
+let is_automorphism cm pi =
+  let m = Coupling.num_qubits cm in
+  Array.length pi = m
+  && (let seen = Array.make m false in
+      Array.for_all
+        (fun v -> v >= 0 && v < m && not seen.(v) && (seen.(v) <- true; true))
+        pi)
+  &&
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && Coupling.allows cm i j <> Coupling.allows cm pi.(i) pi.(j)
+      then ok := false
+    done
+  done;
+  !ok
+
+let all ?(max_count = 64) cm =
+  let m = Coupling.num_qubits cm in
+  let out_deg = Array.make m 0 and in_deg = Array.make m 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && Coupling.allows cm i j then begin
+        out_deg.(i) <- out_deg.(i) + 1;
+        in_deg.(j) <- in_deg.(j) + 1
+      end
+    done
+  done;
+  let pi = Array.make m (-1) in
+  let used = Array.make m false in
+  let found = ref [] in
+  let nfound = ref 0 in
+  let nodes = ref 0 in
+  let rec extend i =
+    if !nfound < max_count && !nodes < node_budget then
+      if i = m then begin
+        (* exclude the identity *)
+        if Array.exists (fun v -> pi.(v) <> v) (Array.init m Fun.id) then begin
+          found := Array.copy pi :: !found;
+          incr nfound
+        end
+      end
+      else
+        for cand = 0 to m - 1 do
+          if
+            !nfound < max_count && !nodes < node_budget
+            && (not used.(cand))
+            && out_deg.(cand) = out_deg.(i)
+            && in_deg.(cand) = in_deg.(i)
+          then begin
+            incr nodes;
+            let consistent = ref true in
+            for u = 0 to i - 1 do
+              if
+                Coupling.allows cm u i <> Coupling.allows cm pi.(u) cand
+                || Coupling.allows cm i u <> Coupling.allows cm cand pi.(u)
+              then consistent := false
+            done;
+            if !consistent then begin
+              pi.(i) <- cand;
+              used.(cand) <- true;
+              extend (i + 1);
+              used.(cand) <- false;
+              pi.(i) <- -1
+            end
+          end
+        done
+  in
+  extend 0;
+  List.rev !found

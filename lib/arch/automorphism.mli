@@ -1,0 +1,23 @@
+(** Automorphisms of a directed coupling graph.
+
+    A physical-qubit permutation π is an automorphism when it preserves
+    the directed edge relation: [allows cm i j] iff
+    [allows cm (π i) (π j)].  Relabelling any mapping solution by such a
+    π yields another solution with the same SWAP and H cost — every
+    allowed CNOT direction, every swap path and every flip survives the
+    relabelling — so the solution space of the paper's encoding is
+    closed under the automorphism group.  {!Qxm_exact.Encoding} uses
+    this to add lex-leader symmetry-breaking constraints over the
+    initial-layout variables: model-restricting, optimum-preserving. *)
+
+val all : ?max_count:int -> Coupling.t -> int array list
+(** The non-identity automorphisms of the coupling graph, as permutation
+    arrays ([pi.(i)] is the image of physical qubit [i]), in
+    lexicographic order of the array.  Deterministic.  [max_count]
+    (default 64) caps the number returned — the lex-leader constraints
+    grow linearly per automorphism, and on highly symmetric graphs the
+    leading group elements already remove almost all of the orbit. *)
+
+val is_automorphism : Coupling.t -> int array -> bool
+(** [is_automorphism cm pi] checks the defining property directly (used
+    by tests; [pi] must be a permutation of [0 .. num_qubits-1]). *)

@@ -154,11 +154,17 @@ let run ?(max_steps = Proof.default_max_steps) ?(equiv_max_qubits = 10)
      then e002 "final_full is not a permutation of the %d positions" k;
      (* Re-derive the encoding on a fresh logging solver.  The
         certificate never supplies clauses: the input stream the proof
-        is checked against comes from here. *)
+        is checked against comes from here.  The symmetry flag is the
+        only encoding degree of freedom the certificate selects beyond
+        strategy/AMO/costs — lex-leader clauses are optimum-preserving,
+        so honoring it cannot weaken the claimed bound, and the proof
+        only replays if the flag matches the producer's. *)
      let solver = Solver.create () in
      Solver.enable_proof solver;
      let cnf = Cnf.create solver in
-     let built = Encoding.build ~amo ~costs cnf instance in
+     let built =
+       Encoding.build ~amo ~costs ~symmetry:cert.symmetry cnf instance
+     in
      let encoding_inputs =
        match Solver.proof solver with
        | Some p -> List.length p.Proof.inputs

@@ -11,6 +11,7 @@ type t = {
   amo : string;
   swap_weight : int;
   flip_weight : int;
+  symmetry : bool;
   claimed_cost : int;
   model : bool array;
   bounds : int list;
@@ -75,6 +76,7 @@ let to_json c =
       ("strategy", Sjson.Str c.strategy);
       ("amo", Sjson.Str c.amo);
       ("costs", Sjson.Obj [ ("swap", num c.swap_weight); ("flip", num c.flip_weight) ]);
+      ("symmetry", Sjson.Bool c.symmetry);
       ("claimed_cost", num c.claimed_cost);
       ("model", Sjson.Str (model_to_string c.model));
       ("bounds", int_list c.bounds);
@@ -158,6 +160,16 @@ let of_json j =
     let* costs = field "costs" j in
     let* swap_weight = int_ "swap" costs in
     let* flip_weight = int_ "flip" costs in
+    (* Absent in certificates that predate symmetry breaking: those were
+       produced from unrestricted encodings, so the default is [false]. *)
+    let* symmetry =
+      match Sjson.member "symmetry" j with
+      | None -> Ok false
+      | Some v -> (
+          match Sjson.to_bool_opt v with
+          | Some b -> Ok b
+          | None -> Error "field \"symmetry\" must be a boolean")
+    in
     let* claimed_cost = int_ "claimed_cost" j in
     let* model_s = str "model" j in
     let* model = model_of_string model_s in
@@ -179,6 +191,7 @@ let of_json j =
         amo;
         swap_weight;
         flip_weight;
+        symmetry;
         claimed_cost;
         model;
         bounds;

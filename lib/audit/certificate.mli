@@ -26,6 +26,13 @@ type t = {
   amo : string;  (** {!amo_name} of the AMO scheme used by the encoding *)
   swap_weight : int;
   flip_weight : int;
+  symmetry : bool;
+      (** whether the producing encoding included lex-leader
+          symmetry-breaking constraints; the auditor re-derives the
+          encoding with the same flag so the proof replays against the
+          exact clause stream.  Symmetry clauses are model-restricting
+          but optimum-preserving, so the claimed F* means the same thing
+          either way.  Missing in pre-symmetry certificates → [false]. *)
   claimed_cost : int;  (** F*, in the units of the cost model *)
   model : bool array;
       (** satisfying model over the re-derived encoding's variables

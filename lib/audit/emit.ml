@@ -16,11 +16,11 @@ let ( let* ) = Result.bind
    returning the trace and the single bound it enforced.  Used when the
    witness predates the final rung or the optimizer never produced an
    assumption-free UNSAT trace itself. *)
-let prove_bound ?deadline ~amo ~costs ~instance ~cost () =
+let prove_bound ?deadline ~amo ~costs ~symmetry ~instance ~cost () =
   let solver = Solver.create () in
   Solver.enable_proof solver;
   let cnf = Cnf.create solver in
-  let built = Encoding.build ~amo ~costs cnf instance in
+  let built = Encoding.build ~amo ~costs ~symmetry cnf instance in
   let pb = Pb.build cnf (Encoding.objective built) in
   let bound = cost - 1 in
   Pb.enforce_at_most cnf pb bound;
@@ -45,11 +45,11 @@ let prove_bound ?deadline ~amo ~costs ~instance ~cost () =
    requested strategy's, so the probe's cost is attainable here too:
    enforcing F <= cost must come back Sat (the model) and F <= cost - 1
    Unsat (the proof). *)
-let derive_model_and_proof ?deadline ~amo ~costs ~instance ~cost () =
+let derive_model_and_proof ?deadline ~amo ~costs ~symmetry ~instance ~cost () =
   let solver = Solver.create () in
   Solver.enable_proof solver;
   let cnf = Cnf.create solver in
-  let built = Encoding.build ~amo ~costs cnf instance in
+  let built = Encoding.build ~amo ~costs ~symmetry cnf instance in
   let pb = Pb.build cnf (Encoding.objective built) in
   Pb.enforce_at_most cnf pb cost;
   match Solver.solve ?deadline solver with
@@ -92,24 +92,40 @@ let build ?deadline ~device_name ~arch ~circuit ~strategy ~amo ~costs
       spots = Strategy.spots strategy cnot_list;
     }
   in
-  let* model, proof_drup, bounds =
+  let* model, proof_drup, bounds, symmetry =
     if w.Mapper.w_strategy <> strategy then
-      derive_model_and_proof ?deadline ~amo ~costs ~instance
-        ~cost:w.Mapper.w_cost ()
-    else if w.Mapper.w_cost = 0 then Ok (w.Mapper.w_model, "", [])
+      (* The witness's model and trace live over a different strategy's
+         variable space; everything is re-derived here, on an
+         unrestricted encoding, so the certificate records
+         [symmetry = false] regardless of how the witness was found. *)
+      let* model, proof_drup, bounds =
+        derive_model_and_proof ?deadline ~amo ~costs ~symmetry:false ~instance
+          ~cost:w.Mapper.w_cost ()
+      in
+      Ok (model, proof_drup, bounds, false)
+    else if w.Mapper.w_cost = 0 then
+      Ok (w.Mapper.w_model, "", [], w.Mapper.w_symmetry)
     else
       match w.Mapper.w_proof with
       | Some proof ->
           Ok
             ( w.Mapper.w_model,
               Proof.to_drup { proof with Proof.inputs = [] },
-              w.Mapper.w_bounds )
+              w.Mapper.w_bounds,
+              w.Mapper.w_symmetry )
       | None ->
+          (* Re-prove over the witness's own encoding flag: the recorded
+             model must satisfy the clause stream the auditor re-derives,
+             and the fresh proof's inputs must match it too. *)
           let* steps, bounds =
-            prove_bound ?deadline ~amo ~costs ~instance ~cost:w.Mapper.w_cost
-              ()
+            prove_bound ?deadline ~amo ~costs ~symmetry:w.Mapper.w_symmetry
+              ~instance ~cost:w.Mapper.w_cost ()
           in
-          Ok (w.Mapper.w_model, Proof.to_drup { Proof.inputs = []; steps }, bounds)
+          Ok
+            ( w.Mapper.w_model,
+              Proof.to_drup { Proof.inputs = []; steps },
+              bounds,
+              w.Mapper.w_symmetry )
   in
   Ok
     {
@@ -122,6 +138,7 @@ let build ?deadline ~device_name ~arch ~circuit ~strategy ~amo ~costs
       amo = Certificate.amo_name amo;
       swap_weight = costs.Encoding.swap_weight;
       flip_weight = costs.Encoding.flip_weight;
+      symmetry;
       claimed_cost = w.Mapper.w_cost;
       model;
       bounds;

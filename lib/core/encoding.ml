@@ -52,6 +52,7 @@ type built = {
   x : Lit.t array array array; (* x.(s).(i).(j) *)
   z : Lit.t array;
   objective : (int * Lit.t) list;
+  symmetry : bool;
 }
 
 let segments_of inst =
@@ -204,7 +205,47 @@ let constrain_spot_general cnf table x_prev x_next m n steps =
   in
   Cnf.add cnf ys
 
-let build ?(amo = Amo.default) ?(costs = paper_costs) cnf inst =
+(* Lex-leader symmetry breaking over the initial layout.  Relabelling the
+   physical qubits of any solution by a coupling-graph automorphism π
+   yields another solution of identical cost (allowed directions, swap
+   distances and flips are all preserved), so the solution space is
+   closed under the automorphism group.  Constraining the segment-0
+   layout vector — row-major over (physical, logical) — to be
+   lexicographically ≤ its π-relabelling for each enumerated π keeps the
+   lex-least member of every solution orbit while cutting its siblings:
+   model-restricting, optimum-preserving.
+
+   Per vector position k with sides b_k = x0(i,j), c_k = x0(π i, j) and
+   prefix-equality chain variable a_k ("positions < k agree"):
+     ¬a_k ∨ ¬b_k ∨ c_k        (prefix equal → b_k ≤ c_k)
+     ¬a_k ∨ ¬b_k ∨ a_{k+1}    (given the ≤ clause, a_k ∧ b_k forces c_k)
+     ¬a_k ∨  c_k ∨ a_{k+1}    (given the ≤ clause, a_k ∧ ¬c_k forces ¬b_k)
+   Positions with π i = i compare a literal to itself and are skipped. *)
+let constrain_symmetry cnf arch x0 m n =
+  List.iter
+    (fun pi ->
+      let chain = ref None (* None: the prefix is vacuously equal *) in
+      for i = 0 to m - 1 do
+        if pi.(i) <> i then
+          for j = 0 to n - 1 do
+            let b = x0.(i).(j) and c = x0.(pi.(i)).(j) in
+            let a' = Cnf.fresh cnf in
+            (match !chain with
+            | None ->
+                Cnf.add2 cnf (Lit.negate b) c;
+                Cnf.add2 cnf (Lit.negate b) a';
+                Cnf.add2 cnf c a'
+            | Some a ->
+                Cnf.add3 cnf (Lit.negate a) (Lit.negate b) c;
+                Cnf.add3 cnf (Lit.negate a) (Lit.negate b) a';
+                Cnf.add3 cnf (Lit.negate a) c a');
+            chain := Some a'
+          done
+      done)
+    (Qxm_arch.Automorphism.all arch)
+
+let build ?(amo = Amo.default) ?(costs = paper_costs) ?(symmetry = false) cnf
+    inst =
   validate inst;
   if costs.swap_weight < 0 || costs.flip_weight < 0 then
     invalid_arg "Encoding.build: negative cost weight";
@@ -220,6 +261,7 @@ let build ?(amo = Amo.default) ?(costs = paper_costs) cnf inst =
   let z = Array.init g (fun _ -> Cnf.fresh cnf) in
   constrain_well_defined ~amo cnf x m n;
   constrain_coupling cnf inst x seg_of_gate z;
+  if symmetry then constrain_symmetry cnf inst.arch x.(0) m n;
   let max_sw = Swap_count.max_swaps table in
   let objective = ref [] in
   if costs.flip_weight > 0 then
@@ -244,10 +286,18 @@ let build ?(amo = Amo.default) ?(costs = paper_costs) cnf inst =
     x;
     z;
     objective = List.rev !objective;
+    symmetry;
   }
 
 let objective b = b.objective
 let num_segments b = b.num_segments
+let symmetry b = b.symmetry
+
+let layout_lit b i j =
+  let block = b.x.(0) in
+  if i < 0 || i >= Array.length block || j < 0 || j >= Array.length block.(0)
+  then invalid_arg "Encoding.layout_lit";
+  block.(i).(j)
 
 let segment_of_gate b k =
   if k < 0 || k >= Array.length b.seg_of_gate then

@@ -61,12 +61,24 @@ val var_capacity_hint : instance -> int
 val build :
   ?amo:Qxm_encode.Amo.encoding ->
   ?costs:cost_model ->
+  ?symmetry:bool ->
   Qxm_encode.Cnf.t ->
   instance ->
   built
 (** Encode the instance into the context's solver.  [costs] defaults to
     {!paper_costs}; weights must be non-negative (zero-weight terms are
-    left out of the objective). *)
+    left out of the objective).
+
+    [symmetry] (default [false]) adds lex-leader symmetry-breaking
+    constraints over the initial-layout variable block: for each
+    automorphism π of the coupling graph ({!Qxm_arch.Automorphism.all}),
+    the segment-0 layout vector must be lexicographically ≤ its
+    π-relabelling.  Relabelling physical qubits by an automorphism
+    preserves every cost term, so these constraints are
+    model-restricting but optimum-preserving: the minimum of the
+    objective is unchanged, only which witness models survive.  A
+    certificate produced from a symmetry-broken encoding must be audited
+    against the same flag. *)
 
 val objective : built -> (int * Qxm_sat.Lit.t) list
 (** Eq. (5) as weighted literals: [swap_weight] per cost-ladder step,
@@ -74,6 +86,18 @@ val objective : built -> (int * Qxm_sat.Lit.t) list
 
 val num_segments : built -> int
 val segment_of_gate : built -> int -> int
+
+val symmetry : built -> bool
+(** Whether the encoding includes the lex-leader symmetry-breaking
+    constraints ([build]'s [symmetry] flag). *)
+
+val layout_lit : built -> int -> int -> Qxm_sat.Lit.t
+(** [layout_lit b i j] is the initial-layout variable x⁰_ij — logical
+    qubit [j] sits on physical qubit [i] during segment 0.  The
+    cube-and-conquer driver pins these inside retractable clause groups
+    to split the top-level layout choice; because Eq. (1) makes the
+    choices for a fixed [j] exhaustive and mutually exclusive, the pins
+    over all [i] partition the model space. *)
 
 val mapping_of_model : built -> bool array -> int array array
 (** Per segment: array [place] with [place.(j)] = physical qubit hosting

@@ -85,13 +85,52 @@ type options = {
           self-contained certificate file.  Logging costs memory
           proportional to the learnt-clause traffic, so leave this off
           for latency-sensitive paths. *)
+  symmetry : bool;
+      (** Add lex-leader symmetry-breaking constraints over the
+          initial-layout block, one per coupling-graph automorphism (on
+          by default; see {!Encoding.build}).  Effective under the
+          [Minimal] strategy; model-restricting but optimum-preserving,
+          so only the witness model can change, never the cost.  The
+          witness records whether the winning encoding carried the
+          clauses ([w_symmetry]) so certificates replay against the
+          same formula. *)
+  cubes : bool;
+      (** Cube-and-conquer (off by default): split each candidate's
+          top-level initial-layout choice — one cube per physical
+          position of the most-used logical qubit — and work the cubes
+          over long-lived per-chunk solvers with retractable clause
+          groups, shared-incumbent pruning, and [unsat_core]-driven
+          sibling pruning (an UNSAT core that never mentions a cube's
+          pin refutes every remaining cube at once;
+          [mapper.cubes_pruned] counts the kills).  Cube encodings skip
+          symmetry breaking and proof logging; certificates and
+          multi-chunk runs are finalized by the canonical fresh
+          re-solve.  Supersedes [?session] for the call. *)
 }
 
 val default : options
 (** Minimal strategy, subsets on, no timeout, unlimited conflicts,
     linear descent, sequential AMO, verification on, incumbent pruning
-    on, warm starts on, and [jobs] from the [QXM_JOBS] environment
-    variable (default 1). *)
+    on, warm starts on, symmetry breaking on, cubes off, and [jobs]
+    from the [QXM_JOBS] environment variable (default 1). *)
+
+(** {2 Ladder sessions}
+
+    A {!session} carries each candidate's solver, encoding, heuristic
+    warmth and minimization state across several {!run} calls, so a
+    conflict-limit ladder (the portfolio's escalation rungs) resumes
+    the previous rung's descent — learnt clauses, saved phases and
+    VSIDS activity intact — instead of re-encoding from scratch.
+    Reuse requires the same architecture, circuit and ladder-compatible
+    options (same strategy, AMO scheme, cost model, seed, …; only
+    budgets and bounds may differ between rungs) — an incompatible call
+    silently bypasses the session and runs fresh.  Sessions pin solver
+    memory until dropped. *)
+
+type session
+
+val new_session : unit -> session
+(** Fresh (empty) session state for threading through {!run}. *)
 
 (** Raw optimality evidence carried by a report when
     [options.certificate] was set: everything instance-local an offline
@@ -117,7 +156,14 @@ type witness = {
           assumption-free UNSAT (e.g. cost 0, or binary search). *)
   w_bounds : int list;
       (** bounds permanently enforced on the PB circuit, in call order
-          ({!Qxm_opt.Minimize.outcome.bounds} of the winning solve) *)
+          ({!Qxm_opt.Minimize.outcome.bounds} of the winning solve) —
+          cumulative over the whole minimization session when the
+          winning solve resumed one, so replaying them reproduces the
+          exact input stream of the long-lived solver *)
+  w_symmetry : bool;
+      (** the winning encoding carried the lex-leader symmetry-breaking
+          clauses; the auditor must re-derive the formula with the same
+          flag for models and proofs to replay *)
 }
 
 type report = {
@@ -197,6 +243,7 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val run :
   ?options:options ->
+  ?session:session ->
   ?pool:Qxm_par.Pool.t ->
   ?cancel:Qxm_par.Cancel.t ->
   ?on_progress:(progress -> unit) ->
@@ -205,6 +252,11 @@ val run :
   (report, failure) result
 (** Map [circuit] onto [arch].  The input must not contain SWAP gates
     (decompose them first); barriers pass through.
+
+    [?session] resumes a previous call's per-candidate solver state
+    (see {!session}); the caller guarantees the same [arch] and
+    [circuit] across the session's calls.  Ignored when
+    [options.cubes] is set.
 
     [?pool] shares an existing worker pool instead of spinning up
     [options.jobs] fresh domains — the portfolio layer passes its own so

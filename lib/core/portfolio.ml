@@ -174,10 +174,11 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
       List.iter
         (fun (t, c) -> raw_traj := (t0 +. t, c) :: !raw_traj)
         r.trajectory;
-      Mutex.unlock stage_lock;
-      match !best_exact with
+      (* under the lock: the cube lane and the ladder lane both publish *)
+      (match !best_exact with
       | Some prev when prev.f_cost <= r.f_cost -> ()
-      | _ -> best_exact := Some r
+      | _ -> best_exact := Some r);
+      Mutex.unlock stage_lock
     in
     let final_trajectory () =
       let pts =
@@ -200,13 +201,15 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
     let deadline_hit = ref false in
     let exact_cancel = Cancel.create () in
     let heur_cancel = Cancel.create () in
+    let cube_cancel = Cancel.create () in
     (* The caller's supervisor token (a daemon watchdog, a batch driver)
-       reaches both lanes: cancelling it stops racing solves promptly
+       reaches every lane: cancelling it stops racing solves promptly
        through the lane tokens the solvers poll. *)
     (match cancel with
     | Some sup ->
         Cancel.attach ~parent:sup exact_cancel;
-        Cancel.attach ~parent:sup heur_cancel
+        Cancel.attach ~parent:sup heur_cancel;
+        Cancel.attach ~parent:sup cube_cancel
     | None -> ());
     let cancel_lane ~lane ~cause token =
       if not (Cancel.cancelled token) then begin
@@ -233,7 +236,8 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
     (* One exact stage: [strategy] is either the requested strategy (a
        ladder rung) or one of its relaxations (the probe), so the best
        incumbent's objective value is always a sound upper bound. *)
-    let run_exact ?pool ?cancel ~stage ~strategy ~conflict_limit () =
+    let run_exact ?pool ?cancel ?session ?cubes ~stage ~strategy
+        ~conflict_limit () =
       let t0 = Unix.gettimeofday () in
       Trace.with_span ~name:"portfolio.stage"
         ~args:
@@ -269,11 +273,12 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
               conflict_limit;
               timeout = left;
               upper_bound;
+              cubes = Option.value ~default:options.exact.cubes cubes;
             }
           in
           let seeded = upper_bound <> options.exact.upper_bound in
           (match
-             Mapper.run ~options:opts ?pool ?cancel
+             Mapper.run ~options:opts ?session ?pool ?cancel
                ?on_progress:(stage_progress stage) ~arch circuit
            with
           | Ok r ->
@@ -312,10 +317,13 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
                 ("failed: " ^ Printexc.to_string e))
     in
     (* The exact lane: relaxed-strategy probe, then the conflict-limit
-       ladder, then certification of the best incumbent.  [cancel] is the
-       lane's own token — a raced lane that lost stops between rungs (and,
-       through [Solver.set_stop], mid-solve). *)
-    let exact_lane ?pool ?cancel () =
+       ladder.  The ladder rungs thread one {!Mapper.session}, so each
+       rung resumes the previous rung's solvers (learnt clauses, phases,
+       activity, enforced bounds) instead of re-encoding — the probe
+       runs a different strategy and stays outside the session.
+       [cancel] is the lane's own token — a raced lane that lost stops
+       between rungs (and, through [Solver.set_stop], mid-solve). *)
+    let exact_lane ?pool ?cancel ~cubes () =
       Trace.with_span ~name:"portfolio.exact_lane" @@ fun () ->
       let lane_cancelled () =
         match cancel with Some c -> Cancel.cancelled c | None -> false
@@ -333,16 +341,18 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
              in
              if lane_cancelled () then lost_race := true
              else
-               run_exact ?pool ?cancel
+               run_exact ?pool ?cancel ~cubes:false
                  ~stage:("probe:" ^ Strategy.name relax)
                  ~strategy:relax ~conflict_limit:limit ());
-      (* Stage 2: conflict-limit ladder on the requested strategy. *)
+      (* Stage 2: conflict-limit ladder on the requested strategy, one
+         shared incremental session across the rungs. *)
+      let ladder_session = Mapper.new_session () in
       List.iter
         (fun limit ->
           if not !proved_optimal then
             if lane_cancelled () then lost_race := true
             else
-              run_exact ?pool ?cancel
+              run_exact ?pool ?cancel ~session:ladder_session ~cubes
                 ~stage:
                   (Printf.sprintf "exact:%s"
                      (if limit < 0 then "unlimited" else string_of_int limit))
@@ -350,7 +360,25 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
         options.ladder;
       if !lost_race then
         record ~stage:"exact" ~t0:(Unix.gettimeofday ()) ~stage_solves:0
-          "cancelled";
+          "cancelled"
+    in
+    (* The cube lane (racing mode only): one unlimited cube-and-conquer
+       run on the requested strategy, racing the ladder for the
+       optimality proof while publishing into the same shared
+       incumbent. *)
+    let cube_lane ?pool ?cancel () =
+      Trace.with_span ~name:"portfolio.cube_lane" @@ fun () ->
+      if match cancel with Some c -> Cancel.cancelled c | None -> false then
+        record ~stage:"cubes" ~t0:(Unix.gettimeofday ()) ~stage_solves:0
+          "skipped: cancelled"
+      else
+        run_exact ?pool ?cancel ~cubes:true ~stage:"cubes"
+          ~strategy:options.exact.strategy ~conflict_limit:(-1) ()
+    in
+    (* Assemble (and gate) the exact side's best result — after every
+       exact lane has finished, so a late cube-lane incumbent is not
+       lost. *)
+    let assemble_exact () =
       let exact_candidate =
         Option.map
           (fun (r : Mapper.report) ->
@@ -461,8 +489,11 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
     let exact_candidate, heuristic_candidate =
       if jobs <= 1 then begin
         (* Sequential portfolio: exact stages first, heuristics only when
-           optimality is still open — exactly the pre-racing pipeline. *)
-        let e = exact_lane ~cancel:exact_cancel () in
+           optimality is still open — exactly the pre-racing pipeline.
+           Cube-and-conquer, when requested, runs inside the ladder
+           rungs themselves. *)
+        exact_lane ~cancel:exact_cancel ~cubes:options.exact.cubes ();
+        let e = assemble_exact () in
         let h =
           if !proved_optimal && e <> None then None
           else heuristic_lane ~cancel:heur_cancel ~on_success:ignore ()
@@ -470,21 +501,41 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
         (e, h)
       end
       else
-        (* Racing portfolio: both lanes share one pool.  The exact lane
+        (* Racing portfolio: the lanes share one pool.  The exact lane
            passes the pool down so the candidate fan-out and the lanes
            draw from the same workers; futures are joined in lane order,
            so the combination below is deterministic given each lane's
-           own result. *)
+           own result.  With cubes requested, a third lane races the
+           ladder for the proof: ladder and cube lane publish into the
+           same shared incumbent, and whichever proves optimality first
+           cancels the others. *)
+        let cube_race = options.exact.cubes in
         Pool.with_pool jobs (fun pool ->
             let e_fut =
               Pool.submit pool (fun () ->
-                  let e = exact_lane ~pool ~cancel:exact_cancel () in
-                  (* A proven optimum is final: the heuristic lane can
-                     only lose the comparison, so stop paying for it. *)
-                  if !proved_optimal && e <> None then
+                  exact_lane ~pool ~cancel:exact_cancel ~cubes:false ();
+                  (* A proven optimum is final: the other lanes can only
+                     lose the comparison, so stop paying for them. *)
+                  if !proved_optimal && !best_exact <> None then begin
                     cancel_lane ~lane:"heuristic" ~cause:"exact proved optimal"
                       heur_cancel;
-                  e)
+                    if cube_race then
+                      cancel_lane ~lane:"cubes" ~cause:"exact proved optimal"
+                        cube_cancel
+                  end)
+            in
+            let c_fut =
+              if cube_race then
+                Some
+                  (Pool.submit pool (fun () ->
+                       cube_lane ~pool ~cancel:cube_cancel ();
+                       if !proved_optimal && !best_exact <> None then begin
+                         cancel_lane ~lane:"heuristic"
+                           ~cause:"cubes proved optimal" heur_cancel;
+                         cancel_lane ~lane:"exact"
+                           ~cause:"cubes proved optimal" exact_cancel
+                       end))
+              else None
             in
             let h_fut =
               Pool.submit pool (fun () ->
@@ -494,15 +545,21 @@ let run ?(options = default) ?cancel ?on_progress ~arch circuit =
                          latency mode (a wall-clock budget is set); an
                          unbudgeted run still wants the exact proof. *)
                       if options.budget <> None || options.exact_budget <> None
-                      then
+                      then begin
                         cancel_lane ~lane:"exact"
                           ~cause:"heuristic certified first (latency mode)"
-                          exact_cancel)
+                          exact_cancel;
+                        if cube_race then
+                          cancel_lane ~lane:"cubes"
+                            ~cause:"heuristic certified first (latency mode)"
+                            cube_cancel
+                      end)
                     ())
             in
-            match Pool.await_all [ e_fut; h_fut ] with
-            | [ e; h ] -> (e, h)
-            | _ -> assert false)
+            Pool.await e_fut;
+            Option.iter Pool.await c_fut;
+            let h = Pool.await h_fut in
+            (assemble_exact (), h))
     in
     let chosen =
       match (exact_candidate, heuristic_candidate) with

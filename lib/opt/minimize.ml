@@ -16,7 +16,40 @@ type outcome = {
   trajectory : (float * int) list;
   proof : Qxm_sat.Proof.t option;
   bounds : int list;
+  core : Qxm_sat.Lit.t list;
 }
+
+(* Persistent minimization state over one long-lived solver: the PB
+   circuit (built once), the best model, the lowest permanently enforced
+   bound (a watermark — bounds are only re-enforced when strictly
+   tighter, so the cumulative [s_bounds] list reproduces the solver's
+   exact input stream), the binary-search floor, and whether the descent
+   already concluded.  Conclusions ([s_finished], [s_lo]) are recorded
+   only from solves without open clause scopes: a scoped UNSAT is
+   conditional on the scope's clauses (e.g. a cube pin) and proves
+   nothing about the unconditional formula. *)
+type session = {
+  mutable s_pb : Pb.t option;
+  mutable s_best : (int * bool array) option;
+  mutable s_enforced : int option;
+  mutable s_bounds : int list; (* reversed, cumulative across calls *)
+  mutable s_lo : int;
+  mutable s_seeded : bool;
+  mutable s_proof : Qxm_sat.Proof.t option;
+  mutable s_finished : [ `Optimal | `Unsat ] option;
+}
+
+let new_session () =
+  {
+    s_pb = None;
+    s_best = None;
+    s_enforced = None;
+    s_bounds = [];
+    s_lo = 0;
+    s_seeded = false;
+    s_proof = None;
+    s_finished = None;
+  }
 
 let step_conflicts = lazy (Metrics.histogram "minimize.step_conflicts")
 
@@ -28,152 +61,261 @@ let cost_of_model objective model =
       if value then acc + w else acc)
     0 objective
 
-let minimize ?(strategy = Linear_descent) ?(deadline = 0.0)
+let minimize ?session ?(strategy = Linear_descent) ?(deadline = 0.0)
     ?(conflict_limit = -1) ?upper_bound ?warm_start ?on_incumbent ~cnf
     ~objective () =
   let solver = Cnf.solver cnf in
-  let rev_trajectory = ref [] in
-  let note cost =
-    rev_trajectory := (Unix.gettimeofday (), cost) :: !rev_trajectory;
-    match on_incumbent with Some cb -> cb cost | None -> ()
-  in
-  (* Phase seeding: bias the search toward the heuristic solution when
-     one is supplied, and toward cost 0 on the objective literals either
-     way.  Phases steer branching order only, so this cannot change which
-     costs are reachable — only how fast the descent starts. *)
-  List.iter
-    (fun (_, l) -> Solver.set_phase solver (Lit.var l) (not (Lit.sign l)))
-    objective;
-  (match warm_start with
-  | Some model -> Solver.suggest_model solver model
-  | None -> ());
-  let solves = ref 0 in
-  let solve ?(assumptions = []) () =
-    incr solves;
-    (* The solver's [conflict_limit] is a cap on its *lifetime* conflict
-       count; rebase it so each minimization step gets the full per-call
-       budget instead of the first step starving all later ones. *)
-    let before = (Solver.stats solver).Solver.conflicts in
-    let conflict_limit =
-      if conflict_limit < 0 then -1 else before + conflict_limit
-    in
-    let r =
-      Trace.with_span ~name:"minimize.step"
-        ~args:[ ("step", Trace.Int !solves) ]
-        (fun () -> Solver.solve ~assumptions ~deadline ~conflict_limit solver)
-    in
-    Metrics.observe (Lazy.force step_conflicts)
-      ((Solver.stats solver).Solver.conflicts - before);
-    r
-  in
-  (* Certificate support: record every bound permanently enforced on the
-     PB circuit (in order), and capture the solver's DRUP trace at the
-     assumption-free UNSAT answers — only those end in the empty clause,
-     so Binary_search (assumption-driven) never yields a proof. *)
-  let rev_bounds = ref [] in
-  let enforce pb b =
-    rev_bounds := b :: !rev_bounds;
-    Pb.enforce_at_most cnf pb b
-  in
-  let seeded_pb =
-    match upper_bound with
-    | Some b when objective <> [] ->
-        let pb = Pb.build cnf objective in
-        enforce pb b;
-        Some pb
-    | _ -> None
-  in
-  match solve () with
-  | Solver.Unsat ->
+  let sn = match session with Some sn -> sn | None -> new_session () in
+  (* Scoped solves (open activation-literal scopes, e.g. a cube pin) are
+     conditional: their UNSAT answers exhaust the scope, not the formula,
+     and their traces never end in the empty clause. *)
+  let scoped = Solver.open_scopes solver > 0 in
+  match sn.s_finished with
+  | Some `Unsat ->
       {
         cost = None;
         model = None;
         optimal = false;
-        solves = !solves;
+        solves = 0;
         unsatisfiable = true;
         trajectory = [];
-        proof = Solver.proof solver;
-        bounds = List.rev !rev_bounds;
+        proof = sn.s_proof;
+        bounds = List.rev sn.s_bounds;
+        core = [];
       }
-  | Solver.Unknown ->
+  | Some `Optimal ->
+      let c, m = Option.get sn.s_best in
       {
-        cost = None;
-        model = None;
-        optimal = false;
-        solves = !solves;
+        cost = Some c;
+        model = Some m;
+        optimal = true;
+        solves = 0;
         unsatisfiable = false;
         trajectory = [];
-        proof = None;
-        bounds = List.rev !rev_bounds;
+        proof = sn.s_proof;
+        bounds = List.rev sn.s_bounds;
+        core = [];
       }
-  | Solver.Sat ->
-      let best_model = ref (Solver.model solver) in
-      let best = ref (cost_of_model objective !best_model) in
-      let optimal = ref false in
-      let proof = ref None in
-      note !best;
-      if !best = 0 then optimal := true
-      else begin
-        let pb =
-          match seeded_pb with Some pb -> pb | None -> Pb.build cnf objective
-        in
-        match strategy with
-        | Linear_descent ->
-            let stop = ref false in
-            while not !stop do
-              let bound = Pb.tighten pb (!best - 1) in
-              enforce pb bound;
-              match solve () with
-              | Solver.Sat ->
-                  best_model := Solver.model solver;
-                  best := cost_of_model objective !best_model;
-                  note !best;
-                  if !best = 0 then begin
-                    optimal := true;
-                    stop := true
-                  end
-              | Solver.Unsat ->
-                  optimal := true;
-                  proof := Solver.proof solver;
-                  stop := true
-              | Solver.Unknown -> stop := true
-            done
-        | Binary_search ->
-            (* Invariant: a model of cost [hi] is known; no model of cost
-               < [lo] exists. *)
-            let lo = ref 0 and hi = ref !best in
-            let stop = ref false in
-            while (not !stop) && !lo < !hi do
-              let mid = !lo + ((!hi - !lo - 1) / 2) in
-              let bound = Pb.tighten pb mid in
-              if bound < !lo then
-                (* No attainable cost within [lo, mid]: the optimum is at
-                   least the next attainable value above mid. *)
-                lo :=
-                  (match Pb.next_above pb mid with
-                  | Some v -> min v !hi
-                  | None -> !hi)
-              else begin
-                let assumptions = Pb.assume_at_most pb bound in
-                match solve ~assumptions () with
-                | Solver.Sat ->
-                    best_model := Solver.model solver;
-                    best := cost_of_model objective !best_model;
-                    note !best;
-                    hi := !best
-                | Solver.Unsat -> lo := bound + 1
-                | Solver.Unknown -> stop := true
-              end
-            done;
-            if !lo >= !hi then optimal := true
+  | None -> (
+      let rev_trajectory = ref [] in
+      let note cost =
+        rev_trajectory := (Unix.gettimeofday (), cost) :: !rev_trajectory;
+        match on_incumbent with Some cb -> cb cost | None -> ()
+      in
+      (* Phase seeding: bias the search toward the heuristic solution when
+         one is supplied, and toward cost 0 on the objective literals either
+         way.  Phases steer branching order only, so this cannot change
+         which costs are reachable — only how fast the descent starts.
+         Done once per session: on a resumed solver the saved phases of the
+         previous descent are worth more than the cold seed. *)
+      if not sn.s_seeded then begin
+        List.iter
+          (fun (_, l) ->
+            Solver.set_phase solver (Lit.var l) (not (Lit.sign l)))
+          objective;
+        (match warm_start with
+        | Some model -> Solver.suggest_model solver model
+        | None -> ());
+        sn.s_seeded <- true
       end;
-      {
-        cost = Some !best;
-        model = Some !best_model;
-        optimal = !optimal;
-        solves = !solves;
-        unsatisfiable = false;
-        trajectory = List.rev !rev_trajectory;
-        proof = !proof;
-        bounds = List.rev !rev_bounds;
-      }
+      let solves = ref 0 in
+      let solve ?(assumptions = []) () =
+        incr solves;
+        (* The solver's [conflict_limit] is a cap on its *lifetime* conflict
+           count; rebase it so each minimization step gets the full per-call
+           budget instead of the first step starving all later ones. *)
+        let before = (Solver.stats solver).Solver.conflicts in
+        let conflict_limit =
+          if conflict_limit < 0 then -1 else before + conflict_limit
+        in
+        let r =
+          Trace.with_span ~name:"minimize.step"
+            ~args:[ ("step", Trace.Int !solves) ]
+            (fun () ->
+              Solver.solve ~assumptions ~deadline ~conflict_limit solver)
+        in
+        Metrics.observe (Lazy.force step_conflicts)
+          ((Solver.stats solver).Solver.conflicts - before);
+        r
+      in
+      (* Certificate support: record every bound permanently enforced on
+         the PB circuit, in order and cumulatively across the session's
+         calls — replaying [bounds] reproduces the exact solver input
+         stream however many rungs shared this solver.  The watermark skip
+         keeps the stream duplicate-free: a bound is enforced only when
+         strictly tighter than everything already enforced. *)
+      let enforce pb b =
+        let tighter =
+          match sn.s_enforced with None -> true | Some e -> b < e
+        in
+        if tighter then begin
+          sn.s_enforced <- Some b;
+          sn.s_bounds <- b :: sn.s_bounds;
+          Pb.enforce_at_most cnf pb b
+        end
+      in
+      let get_pb () =
+        match sn.s_pb with
+        | Some pb -> pb
+        | None ->
+            let pb = Pb.build cnf objective in
+            sn.s_pb <- Some pb;
+            pb
+      in
+      (match upper_bound with
+      | Some b when objective <> [] -> enforce (get_pb ()) b
+      | _ -> ());
+      let initial =
+        match sn.s_best with
+        | Some _ -> Solver.Sat (* resume: a model is already in hand *)
+        | None -> (
+            match solve () with
+            | Solver.Sat ->
+                let m = Solver.model solver in
+                let c = cost_of_model objective m in
+                sn.s_best <- Some (c, m);
+                note c;
+                Solver.Sat
+            | r -> r)
+      in
+      match initial with
+      | Solver.Unsat ->
+          let core = Solver.unsat_core solver in
+          let proof = if scoped then None else Solver.proof solver in
+          if not scoped then begin
+            sn.s_finished <- Some `Unsat;
+            sn.s_proof <- proof
+          end;
+          {
+            cost = None;
+            model = None;
+            optimal = false;
+            solves = !solves;
+            unsatisfiable = true;
+            trajectory = [];
+            proof;
+            bounds = List.rev sn.s_bounds;
+            core;
+          }
+      | Solver.Unknown ->
+          {
+            cost = None;
+            model = None;
+            optimal = false;
+            solves = !solves;
+            unsatisfiable = false;
+            trajectory = [];
+            proof = None;
+            bounds = List.rev sn.s_bounds;
+            core = [];
+          }
+      | Solver.Sat ->
+          let b0, m0 = Option.get sn.s_best in
+          let best = ref b0 in
+          let best_model = ref m0 in
+          let optimal = ref false in
+          let proof = ref None in
+          let core = ref [] in
+          let record_sat () =
+            best_model := Solver.model solver;
+            best := cost_of_model objective !best_model;
+            sn.s_best <- Some (!best, !best_model);
+            note !best
+          in
+          if !best = 0 then optimal := true
+          else begin
+            let pb = get_pb () in
+            match strategy with
+            | Linear_descent ->
+                let stop = ref false in
+                while not !stop do
+                  let bound = Pb.tighten pb (!best - 1) in
+                  enforce pb bound;
+                  match solve () with
+                  | Solver.Sat ->
+                      record_sat ();
+                      if !best = 0 then begin
+                        optimal := true;
+                        stop := true
+                      end
+                  | Solver.Unsat ->
+                      optimal := true;
+                      core := Solver.unsat_core solver;
+                      if not scoped then proof := Solver.proof solver;
+                      stop := true
+                  | Solver.Unknown -> stop := true
+                done
+            | Binary_search ->
+                (* Invariant: a model of cost [hi] is known; no model of
+                   cost < [lo] exists (under the open scopes, if any). *)
+                let lo = ref (if scoped then 0 else min sn.s_lo !best)
+                and hi = ref !best in
+                let stop = ref false in
+                while (not !stop) && !lo < !hi do
+                  let mid = !lo + ((!hi - !lo - 1) / 2) in
+                  let bound = Pb.tighten pb mid in
+                  if bound < !lo then
+                    (* No attainable cost within [lo, mid]: the optimum is
+                       at least the next attainable value above mid. *)
+                    lo :=
+                      (match Pb.next_above pb mid with
+                      | Some v -> min v !hi
+                      | None -> !hi)
+                  else begin
+                    let assumptions = Pb.assume_at_most pb bound in
+                    match solve ~assumptions () with
+                    | Solver.Sat ->
+                        record_sat ();
+                        hi := !best
+                    | Solver.Unsat ->
+                        core := Solver.unsat_core solver;
+                        lo := bound + 1
+                    | Solver.Unknown -> stop := true
+                  end;
+                  if not scoped then sn.s_lo <- !lo
+                done;
+                if !lo >= !hi then begin
+                  optimal := true;
+                  (* Assumption-based UNSAT answers never derive the empty
+                     clause, so the bisection alone cannot feed a
+                     certificate.  When a trace is being recorded, confirm
+                     the proven bound with one assumption-free solve: the
+                     permanent bound enters [bounds] (so the auditor can
+                     replay the input stream) and the UNSAT answer ends the
+                     trace with the empty clause. *)
+                  if
+                    !best > 0 && (not scoped)
+                    && Solver.proof solver <> None
+                  then begin
+                    let bound = Pb.tighten pb (!best - 1) in
+                    enforce pb bound;
+                    match solve () with
+                    | Solver.Unsat -> proof := Solver.proof solver
+                    | Solver.Unknown ->
+                        (* budget ran out confirming an already-proven
+                           bound: optimality stands, only the proof
+                           artifact is missing *)
+                        ()
+                    | Solver.Sat ->
+                        (* contradicts the bisection floor — trust the
+                           model over the flag *)
+                        record_sat ();
+                        optimal := false
+                  end
+                end
+          end;
+          if !optimal && not scoped then begin
+            sn.s_finished <- Some `Optimal;
+            sn.s_proof <- !proof
+          end;
+          {
+            cost = Some !best;
+            model = Some !best_model;
+            optimal = !optimal;
+            solves = !solves;
+            unsatisfiable = false;
+            trajectory = List.rev !rev_trajectory;
+            proof = !proof;
+            bounds = List.rev sn.s_bounds;
+            core = !core;
+          })

@@ -29,20 +29,53 @@ type outcome = {
           their own origin. *)
   proof : Qxm_sat.Proof.t option;
       (** DRUP trace captured at the final assumption-free [Unsat]
-          answer, when the solver had proof logging enabled.  For
-          [Linear_descent] this certifies "no model with F ≤ last
-          enforced bound"; combined with [cost] it witnesses
-          optimality.  [Binary_search] bisects with assumptions, whose
-          UNSAT answers carry no empty clause, so it never sets this. *)
+          answer, when the solver had proof logging enabled and no clause
+          scopes were open.  For [Linear_descent] this certifies "no
+          model with F ≤ last enforced bound"; combined with [cost] it
+          witnesses optimality.  [Binary_search] bisects with
+          assumptions, whose UNSAT answers carry no empty clause — on
+          convergence it therefore re-proves the final bound with one
+          assumption-free confirming solve (recorded in [bounds]) so
+          both strategies can feed a certificate. *)
   bounds : int list;
       (** Every bound permanently enforced on the PB circuit
           ({!Qxm_encode.Pb.enforce_at_most} arguments, in call order,
-          including the seeded [upper_bound]).  Replaying these calls
-          reproduces the exact solver input stream, which is how an
-          offline auditor re-derives the proof's input clauses. *)
+          including the seeded [upper_bound]) — cumulative over the
+          whole {!session} when one is supplied, not just this call.
+          Replaying these calls reproduces the exact solver input
+          stream, which is how an offline auditor re-derives the proof's
+          input clauses; a session's later rungs extend the same stream,
+          so only the cumulative list replays correctly. *)
+  core : Qxm_sat.Lit.t list;
+      (** Assumption core of the last [Unsat] answer of this call
+          ({!Qxm_sat.Solver.unsat_core}), empty otherwise.  With an open
+          clause scope this tells a cube driver whether the refutation
+          used the scope's clauses (its {!Qxm_sat.Solver.scope_lit} is in
+          the core — only this cube is exhausted) or not (the instance is
+          refuted under the current bounds regardless of the pin — every
+          sibling cube is dead too). *)
 }
 
+(** {2 Sessions}
+
+    A {!session} threads minimization state across several [minimize]
+    calls on the {e same} solver: the PB circuit is built once, enforced
+    bounds accumulate behind a watermark (never re-enforced, never
+    loosened), the best model and binary-search floor carry over, and a
+    concluded session short-circuits.  This is what lets the mapper's
+    conflict-limit ladder resume a descent instead of re-encoding —
+    learnt clauses, saved phases and VSIDS activity all survive between
+    rungs.  A session must never be shared between different solvers or
+    different objectives. *)
+
+type session
+
+val new_session : unit -> session
+(** Fresh session state.  Supplying it to [minimize] is equivalent to the
+    session-free call; supplying the same value again resumes. *)
+
 val minimize :
+  ?session:session ->
   ?strategy:strategy ->
   ?deadline:float ->
   ?conflict_limit:int ->

@@ -75,7 +75,51 @@ val model : t -> bool array
 val unsat_core : t -> Lit.t list
 (** After [solve ~assumptions] returned [Unsat]: a subset of the assumptions
     sufficient for unsatisfiability (negated internally and re-negated here,
-    i.e. the returned literals are assumptions that conflict). *)
+    i.e. the returned literals are assumptions that conflict).  When clause
+    scopes are open, their activation literals count as assumptions and may
+    appear in the core — compare against {!scope_lit} to tell them apart. *)
+
+(** {1 Activation-literal clause scopes}
+
+    Retractable clause groups layered on [solve ~assumptions]: a clause
+    added while a scope is current is stored (and DRUP-logged) as
+    [C ∨ ¬a] for the scope's activation variable [a]; every [solve]
+    assumes [a] for each open scope, so the group behaves as if the
+    clauses were permanent.  {!retire_scope} adds the level-0 unit [¬a],
+    permanently satisfying the group — learnt clauses, saved phases and
+    activities all survive, which is what makes one long-lived solver
+    usable across the mapper's ladder rungs and cube pins. *)
+
+type scope
+(** An open clause group (its activation variable). *)
+
+val new_scope : t -> scope
+(** Open a new scope.  Allocates one fresh activation variable. *)
+
+val with_scope : t -> scope -> (unit -> 'a) -> 'a
+(** [with_scope s sc f] runs [f] with [sc] as the current clause scope:
+    every clause added inside gets the scope's negated activation literal
+    appended.  Restores the previous current scope on exit (scopes nest,
+    but a clause belongs to exactly one scope — the innermost).
+    @raise Invalid_argument if [sc] is not open. *)
+
+val retire_scope : t -> scope -> unit
+(** Permanently discard a scope's clauses (level-0 unit [¬a]) and drop
+    them from the clause database.  Must be called at decision level 0
+    (any point between [solve] calls).  Counted in [stats.scopes_retired].
+    @raise Invalid_argument if [sc] is not open. *)
+
+val scope_lit : scope -> Lit.t
+(** The scope's positive activation literal, as it appears in
+    {!unsat_core}: a core that contains [scope_lit sc] depends on the
+    scope's clauses; a core without it refutes the instance independently
+    of them. *)
+
+val open_scopes : t -> int
+(** Number of currently open scopes.  An assumption-free [Unsat] with
+    open scopes is still conditional on them — proof consumers must treat
+    it as assumption-based (no empty clause is derived for the
+    unconditional formula). *)
 
 (** Search statistics, cumulative over the solver's lifetime. *)
 type stats = {
@@ -114,6 +158,9 @@ type stats = {
           quarter of it is garbage). *)
   arena_relocations : int;
       (** Clauses moved by arena collections, total. *)
+  scopes_retired : int;
+      (** Activation-literal clause scopes retired over the solver's
+          lifetime (see {!new_scope} / {!retire_scope}). *)
 }
 
 val stats : t -> stats
@@ -128,6 +175,11 @@ val zero_stats : stats
 val add_stats : stats -> stats -> stats
 (** Field-wise sum, for aggregating over several solver instances (e.g.
     the mapper's candidate fan-out). *)
+
+val sub_stats : stats -> stats -> stats
+(** Field-wise difference, for reporting the delta of a long-lived
+    solver since a watermark (e.g. one ladder rung of a reused mapper
+    session, so per-stage aggregates do not double-count). *)
 
 val stats_counters : stats -> (string * int) list
 (** The stats record as an ordered [(field-name, value)] list — the
@@ -210,10 +262,13 @@ val check_invariants : t -> (string * string) list
 (** Audit the solver right now, at any decision level, without mutating it.
     Returns [(area, message)] pairs with [area] one of ["trail"] (trail and
     decision-level consistency), ["watch"] (two-watched-literal
-    bookkeeping), ["heap"] (VSIDS heap well-formedness) or ["arena"]
+    bookkeeping), ["heap"] (VSIDS heap well-formedness), ["arena"]
     (clause-arena header structure, cref validity of clause lists /
-    watch lists / reasons, and reason slot-0 discipline).  Empty means
-    every audited invariant holds. *)
+    watch lists / reasons, and reason slot-0 discipline) or ["scope"]
+    (activation-literal scope bookkeeping: open/retired disjointness,
+    allocated activation variables, retired scopes pinned false at level
+    0, current-scope validity).  Empty means every audited invariant
+    holds. *)
 
 (** Seeded-corruption hooks for the sanitizer's mutation tests.  Each call
     deliberately breaks one invariant family so tests can prove
@@ -233,6 +288,10 @@ module Testing : sig
   val corrupt_arena : t -> bool
   (** Set an illegal header flag on the first arena clause so the
       ["arena"] audit reports it; [false] when no clause exists. *)
+
+  val corrupt_scope : t -> bool
+  (** Fabricate a retired-scope record whose activation variable was
+      never pinned false, so the ["scope"] audit reports it. *)
 
   val compact : t -> unit
   (** Force a copying collection of the clause arena right now,

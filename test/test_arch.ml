@@ -8,6 +8,7 @@ module Permutation = Qxm_arch.Permutation
 module Swap_count = Qxm_arch.Swap_count
 module Subsets = Qxm_arch.Subsets
 module Paths = Qxm_arch.Paths
+module Automorphism = Qxm_arch.Automorphism
 
 (* -- Coupling ----------------------------------------------------------- *)
 
@@ -281,6 +282,66 @@ let paths_triangle_inequality =
       Paths.distance paths a c
       <= Paths.distance paths a b + Paths.distance paths b c)
 
+(* -- Automorphism --------------------------------------------------------- *)
+
+let test_is_automorphism () =
+  (* A bidirectional 3-line: reversal is the one non-trivial symmetry. *)
+  let bidi3 =
+    Coupling.create ~num_qubits:3 [ (0, 1); (1, 0); (1, 2); (2, 1) ]
+  in
+  Alcotest.(check bool) "identity" true
+    (Automorphism.is_automorphism bidi3 [| 0; 1; 2 |]);
+  Alcotest.(check bool) "reversal" true
+    (Automorphism.is_automorphism bidi3 [| 2; 1; 0 |]);
+  Alcotest.(check bool) "rotation is not" false
+    (Automorphism.is_automorphism bidi3 [| 1; 2; 0 |]);
+  (* qx4 is directed: swapping the degree-matched pair 1 and 4 would map
+     edge 1->0 onto the absent 4->0, so it is rejected. *)
+  Alcotest.(check bool) "qx4 swap (1 4)" false
+    (Automorphism.is_automorphism Devices.qx4 [| 0; 4; 2; 3; 1 |]);
+  (* Malformed inputs: wrong length, not a permutation. *)
+  Alcotest.(check bool) "wrong length" false
+    (Automorphism.is_automorphism bidi3 [| 0; 1 |]);
+  Alcotest.(check bool) "repeated image" false
+    (Automorphism.is_automorphism bidi3 [| 0; 0; 2 |])
+
+let test_automorphisms_qx4 () =
+  (* The directed triangles of QX4 break every candidate symmetry. *)
+  Alcotest.(check int) "qx4 is rigid" 0
+    (List.length (Automorphism.all Devices.qx4))
+
+let test_automorphisms_ring () =
+  (* A directed 4-ring admits exactly the three non-identity rotations
+     (reflections reverse edge directions and are excluded). *)
+  let ring = Devices.ring 4 in
+  let auts = Automorphism.all ring in
+  Alcotest.(check int) "three rotations" 3 (List.length auts);
+  List.iter
+    (fun pi ->
+      Alcotest.(check bool) "valid automorphism" true
+        (Automorphism.is_automorphism ring pi);
+      Alcotest.(check bool) "not identity" true
+        (Array.exists (fun v -> pi.(v) <> v) (Array.init 4 Fun.id)))
+    auts;
+  (* Deterministic lexicographic order: the +1 rotation comes first. *)
+  Alcotest.(check (array int)) "first is +1 rotation" [| 1; 2; 3; 0 |]
+    (List.hd auts);
+  (* max_count truncates the enumeration without changing the prefix. *)
+  Alcotest.(check int) "max_count 1" 1
+    (List.length (Automorphism.all ~max_count:1 ring));
+  Alcotest.(check (array int)) "same prefix" (List.hd auts)
+    (List.hd (Automorphism.all ~max_count:1 ring))
+
+let test_automorphisms_directed_line () =
+  (* Devices.line is one-directional, so even the 2-line is rigid. *)
+  Alcotest.(check int) "line3 rigid" 0
+    (List.length (Automorphism.all (Devices.line 3)));
+  (* The bidirectional closure restores the reversal symmetry. *)
+  let bidi = Devices.all_fully_directed (Devices.line 3) in
+  let auts = Automorphism.all bidi in
+  Alcotest.(check int) "bidirectional line3" 1 (List.length auts);
+  Alcotest.(check (array int)) "reversal" [| 2; 1; 0 |] (List.hd auts)
+
 let suite =
   [
     ("qx4 coupling map (Fig. 2)", `Quick, test_qx4_map);
@@ -314,4 +375,8 @@ let suite =
     ("cnot cost", `Quick, test_cnot_cost);
     ("swap path", `Quick, test_swap_path);
     paths_triangle_inequality;
+    ("is_automorphism", `Quick, test_is_automorphism);
+    ("qx4 has no automorphisms", `Quick, test_automorphisms_qx4);
+    ("ring automorphisms", `Quick, test_automorphisms_ring);
+    ("directed line automorphisms", `Quick, test_automorphisms_directed_line);
   ]

@@ -184,6 +184,96 @@ let test_non_induced_subset () =
   check_rejected ~code:"QA-E002"
     { cert with Certificate.subset = [ 0; 0; 1 ] }
 
+(* -- certificates from the incremental session path ----------------------- *)
+
+(* A conflict-limit ladder over one Mapper session: the first rung is cut
+   off almost immediately, the second resumes the same solvers and
+   concludes.  The emitted certificate's [bounds] are cumulative over the
+   whole session — replaying only the final rung's enforcements would not
+   reproduce the clause stream the proof was logged against. *)
+let session_options =
+  { Mapper.default with certificate = true; conflict_limit = -1 }
+
+let session_cert =
+  lazy
+    (let circuit = Qasm.parse_string smoke_qasm in
+     let session = Mapper.new_session () in
+     let rung conflict_limit =
+       let options = { session_options with Mapper.conflict_limit } in
+       Mapper.run ~options ~session ~arch:Devices.qx4 circuit
+     in
+     ignore (rung 1);
+     match rung (-1) with
+     | Error f -> Alcotest.failf "mapper failed: %a" Mapper.pp_failure f
+     | Ok r -> (
+         if not r.Mapper.optimal then Alcotest.fail "ladder did not conclude";
+         match
+           Emit.of_report ~device_name:"qx4" ~arch:Devices.qx4 ~circuit
+             ~options:session_options r
+         with
+         | Error e -> Alcotest.failf "emit failed: %s" e
+         | Ok cert -> cert))
+
+let test_session_cert_audits_green () =
+  let cert = Lazy.force session_cert in
+  Alcotest.(check int) "claimed F*" 4 cert.Certificate.claimed_cost;
+  let r = Auditor.run cert in
+  if not r.Auditor.ok then
+    Alcotest.failf "session certificate rejected: %s"
+      (String.concat "; " (List.map D.to_string r.Auditor.diagnostics))
+
+(* Stripping the whole ladder leaves a proof that certifies nothing. *)
+let test_session_cert_missing_bounds () =
+  let cert = Lazy.force session_cert in
+  check_rejected ~code:"QA-E014" { cert with Certificate.bounds = [] }
+
+(* Dropping only the tightest rung keeps a plausible-looking ladder, but
+   the replayed input stream no longer contains the clauses of the final
+   enforcement at F* - 1.  The remaining formula is satisfiable — the
+   model itself attains the claimed optimum — so the recorded derivation
+   of the empty clause cannot replay: some step must fail the RUP check. *)
+let test_session_cert_dropped_tightest_bound () =
+  let cert = Lazy.force session_cert in
+  let bounds = cert.Certificate.bounds in
+  let b_min = List.fold_left min max_int bounds in
+  let weakened = List.filter (fun b -> b <> b_min) bounds in
+  if weakened = [] then
+    Alcotest.failf "expected a multi-rung ladder, got bounds [%s]"
+      (String.concat "; " (List.map string_of_int bounds));
+  check_rejected ~code:"QA-E007" { cert with Certificate.bounds = weakened }
+
+(* -- the symmetry flag ----------------------------------------------------- *)
+
+let remove_substring ~sub s =
+  let len = String.length sub in
+  let n = String.length s in
+  let rec find i =
+    if i + len > n then None
+    else if String.sub s i len = sub then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> Alcotest.failf "substring %S not found in certificate JSON" sub
+  | Some i -> String.sub s 0 i ^ String.sub s (i + len) (n - i - len)
+
+(* Certificates that predate symmetry breaking have no "symmetry" field;
+   parsing must default it to false (their encodings carried no
+   symmetry-breaking clauses) and leave every other field intact. *)
+let test_symmetry_field_defaults_to_false () =
+  let cert = Lazy.force clean_cert in
+  let json =
+    remove_substring
+      ~sub:(Printf.sprintf ", \"symmetry\": %b" cert.Certificate.symmetry)
+      (Certificate.to_string cert)
+  in
+  match Certificate.of_string json with
+  | Error e -> Alcotest.failf "pre-symmetry certificate rejected: %s" e
+  | Ok cert' ->
+      Alcotest.(check bool) "defaults to false" false
+        cert'.Certificate.symmetry;
+      Alcotest.(check bool) "other fields preserved" true
+        (cert' = { cert with Certificate.symmetry = false })
+
 let suite =
   [
     ("clean certificate audits green", `Quick, test_clean_cert_audits_green);
@@ -197,4 +287,12 @@ let suite =
      test_perturbed_mapped_circuit);
     ("truncated model is QA-E003", `Quick, test_corrupt_model);
     ("non-ascending subset is QA-E002", `Quick, test_non_induced_subset);
+    ("session-ladder certificate audits green", `Quick,
+     test_session_cert_audits_green);
+    ("stripped bound ladder is QA-E014", `Quick,
+     test_session_cert_missing_bounds);
+    ("dropped tightest bound is QA-E007", `Quick,
+     test_session_cert_dropped_tightest_bound);
+    ("missing symmetry field defaults to false", `Quick,
+     test_symmetry_field_defaults_to_false);
   ]

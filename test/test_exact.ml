@@ -280,6 +280,79 @@ let mapper_end_to_end =
           && r.optimal
           && r.f_cost <= h.f_cost)
 
+(* Differential: a conflict-limit ladder whose rungs share one mapper
+   session (long-lived solvers, learnt clauses and descent bounds carried
+   across rungs) must land on exactly the F* and optimality verdict that
+   fresh solvers per rung produce.  Clause scopes and session resume are
+   bookkeeping, never semantics. *)
+let session_ladder_matches_fresh =
+  qtest ~count:8 "session ladder agrees with fresh solvers per rung"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Generator.random_circuit ~seed ~qubits:3 ~cnots:5 ~singles:2
+      in
+      let ladder session =
+        List.fold_left
+          (fun _ conflict_limit ->
+            let options = { Mapper.default with conflict_limit } in
+            match Mapper.run ~options ?session ~arch:Devices.qx4 c with
+            | Ok r -> Some (r.f_cost, r.objective_cost, r.optimal)
+            | Error _ -> None)
+          None
+          [ 50; 500; -1 ]
+      in
+      let fresh = ladder None in
+      let shared = ladder (Some (Mapper.new_session ())) in
+      (* the final rung is unbounded: both ladders must prove the same
+         optimum (intermediate anytime rungs may legitimately differ) *)
+      match (fresh, shared) with
+      | Some (f1, o1, true), Some (f2, o2, true) -> f1 = f2 && o1 = o2
+      | _ -> false)
+
+(* Lex-leader symmetry breaking restricts which witness models survive,
+   never the attainable objective values: the proven optimum must be
+   identical with the constraints on and off. *)
+let symmetry_preserves_optimum =
+  qtest ~count:8 "symmetry breaking never changes the optimum"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let c =
+        Generator.random_circuit ~seed ~qubits:3 ~cnots:5 ~singles:2
+      in
+      let run symmetry =
+        let options = { Mapper.default with symmetry } in
+        match Mapper.run ~options ~arch:Devices.qx4 c with
+        | Ok r -> Some (r.f_cost, r.objective_cost, r.optimal)
+        | Error _ -> None
+      in
+      match (run true, run false) with
+      | Some (f1, o1, true), Some (f2, o2, true) -> f1 = f2 && o1 = o2
+      | _ -> false)
+
+(* Cube-and-conquer partitions the initial-layout choice; sequential or
+   fanned over a pool, it must reproduce the plain solve's optimum. *)
+let cubes_match_plain =
+  qtest ~count:6 "cube-and-conquer agrees with the plain exact solve"
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* jobs = int_range 1 2 in
+      return (seed, jobs))
+    (fun (seed, jobs) ->
+      let c =
+        Generator.random_circuit ~seed ~qubits:3 ~cnots:5 ~singles:2
+      in
+      let run cubes =
+        let options = { Mapper.default with cubes; jobs } in
+        match Mapper.run ~options ~arch:Devices.qx4 c with
+        | Ok r -> Some (r.f_cost, r.objective_cost, r.optimal, r.verified)
+        | Error _ -> None
+      in
+      match (run true, run false) with
+      | Some (f1, o1, true, Some true), Some (f2, o2, true, Some true) ->
+          f1 = f2 && o1 = o2
+      | _ -> false)
+
 let strategies_dominate_minimal =
   qtest ~count:10 "restricted strategies never beat the minimal cost"
     QCheck2.Gen.(int_range 0 10_000)
@@ -324,5 +397,8 @@ let suite =
     ("initial/final mappings injective", `Quick,
      test_mapper_initial_final_consistent);
     mapper_end_to_end;
+    session_ladder_matches_fresh;
+    symmetry_preserves_optimum;
+    cubes_match_plain;
     strategies_dominate_minimal;
   ]

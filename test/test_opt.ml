@@ -211,6 +211,93 @@ let truncated_minimize_is_sound =
           | None -> false)
       | _ -> false)
 
+(* -- sessions ------------------------------------------------------------ *)
+
+(* A session resumes a cut-off descent on the same solver instead of
+   restarting it: the second rung must reach the brute-force optimum, and
+   its [bounds] list is cumulative over the whole session (a later rung
+   replays the earlier rung's enforcements too, which is what lets an
+   offline auditor reproduce the exact solver input stream). *)
+let test_session_resumes_descent () =
+  let clauses =
+    [
+      [ Lit.pos 0; Lit.pos 1; Lit.pos 2; Lit.pos 3 ];
+      [ Lit.neg_of 0; Lit.pos 2 ];
+      [ Lit.neg_of 1; Lit.pos 3 ];
+    ]
+  in
+  let objective =
+    [ (8, Lit.pos 0); (4, Lit.pos 1); (2, Lit.pos 2); (1, Lit.pos 3) ]
+  in
+  let expected =
+    match brute_min 4 clauses objective with
+    | Some v -> v
+    | None -> Alcotest.fail "instance should be satisfiable"
+  in
+  let s = solver_with 4 in
+  let cnf = Cnf.create s in
+  List.iter (Cnf.add cnf) clauses;
+  let session = Minimize.new_session () in
+  let first =
+    Fault.with_schedule (Fault.After_solves 1) (fun () ->
+        Minimize.minimize ~session ~cnf ~objective ())
+  in
+  Alcotest.(check bool) "first rung cut off" false first.optimal;
+  let second = Minimize.minimize ~session ~cnf ~objective () in
+  Alcotest.(check bool) "second rung optimal" true second.optimal;
+  Alcotest.(check (option int)) "optimum" (Some expected) second.cost;
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "cumulative bounds" true
+        (List.mem b second.bounds))
+    first.bounds;
+  (* A concluded session short-circuits: a third call must agree without
+     another descent. *)
+  let third = Minimize.minimize ~session ~cnf ~objective () in
+  Alcotest.(check (option int)) "short-circuit cost" (Some expected)
+    third.cost;
+  Alcotest.(check bool) "short-circuit optimal" true third.optimal
+
+(* Sessions never loosen an enforced bound: seeding a later rung with a
+   weaker [upper_bound] must not resurrect models above the watermark. *)
+let test_session_bounds_never_loosen () =
+  let s = solver_with 2 in
+  let cnf = Cnf.create s in
+  Cnf.add cnf [ Lit.pos 0; Lit.pos 1 ];
+  let objective = [ (3, Lit.pos 0); (1, Lit.pos 1) ] in
+  let session = Minimize.new_session () in
+  let first = Minimize.minimize ~session ~cnf ~objective ~upper_bound:2 () in
+  Alcotest.(check (option int)) "tight bound" (Some 1) first.cost;
+  let second =
+    Minimize.minimize ~session ~cnf ~objective ~upper_bound:9 ()
+  in
+  Alcotest.(check (option int)) "still the optimum" (Some 1) second.cost;
+  Alcotest.(check bool) "optimal" true second.optimal
+
+(* Binary search bisects with assumptions, whose UNSAT answers carry no
+   empty clause — the confirming assumption-free solve at convergence is
+   what makes its outcome certifiable.  With proof logging on, an optimal
+   binary-search outcome must surface a DRUP proof and a non-empty
+   enforced-bounds list, exactly like Linear_descent. *)
+let test_binary_search_confirming_proof () =
+  let clauses = [ [ Lit.pos 0; Lit.pos 1 ]; [ Lit.neg_of 0; Lit.pos 1 ] ] in
+  let objective = [ (2, Lit.pos 0); (1, Lit.pos 1) ] in
+  let check strategy name =
+    let s = solver_with 2 in
+    Solver.enable_proof s;
+    let cnf = Cnf.create s in
+    List.iter (Cnf.add cnf) clauses;
+    let outcome = Minimize.minimize ~strategy ~cnf ~objective () in
+    Alcotest.(check bool) (name ^ " optimal") true outcome.optimal;
+    Alcotest.(check (option int)) (name ^ " cost") (Some 1) outcome.cost;
+    Alcotest.(check bool) (name ^ " has proof") true (outcome.proof <> None);
+    Alcotest.(check bool)
+      (name ^ " has enforced bounds")
+      true (outcome.bounds <> [])
+  in
+  check Minimize.Binary_search "binary";
+  check Minimize.Linear_descent "linear"
+
 let suite =
   [
     check_strategy Minimize.Linear_descent;
@@ -226,4 +313,8 @@ let suite =
     ("anytime cost monotone in budget", `Quick,
      test_anytime_cost_monotone_in_budget);
     truncated_minimize_is_sound;
+    ("session resumes descent", `Quick, test_session_resumes_descent);
+    ("session bounds never loosen", `Quick, test_session_bounds_never_loosen);
+    ("binary search confirming proof", `Quick,
+     test_binary_search_confirming_proof);
   ]
